@@ -1,0 +1,68 @@
+"""Experiment F3 — peak buffer memory as a function of document size.
+
+The headline scalability claim: on XMP Q3 (the paper's running example) the
+FluX engine's memory consumption is *independent of the document size* under
+the strong DTD (nothing is buffered), the projection engine grows linearly
+with the projected fraction of the document, and the DOM engine grows
+linearly with the whole document.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_series, series_by
+from repro.workloads.queries import get_query
+
+from conftest import SCALING_BOOKS, run_and_record, write_report
+
+_MEASUREMENTS: List[Measurement] = []
+_ENGINE_NAMES = ["flux", "projection", "dom"]
+_SPEC = get_query("BIB-Q3")
+
+
+@pytest.mark.parametrize("books", SCALING_BOOKS)
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+def test_f3_memory_scaling(benchmark, engine_name, books, bib_engines, bib_documents_by_size):
+    document_name = f"bib-{books}"
+    document = bib_documents_by_size[document_name]
+    engine = bib_engines[engine_name]
+    result = run_and_record(
+        benchmark,
+        engine,
+        engine_name,
+        _SPEC.xquery,
+        _SPEC.key,
+        document,
+        document_name,
+        _MEASUREMENTS,
+    )
+    assert result.output
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_f3():
+    yield
+    if not _MEASUREMENTS:
+        return
+    series_text = format_series(
+        _MEASUREMENTS,
+        x_key="document_bytes",
+        metric="peak_buffer_bytes",
+        title="F3: peak buffer memory vs document size (BIB-Q3, strong DTD)",
+    )
+    # Growth factors between the smallest and largest document, per engine.
+    series = series_by(_MEASUREMENTS, metric="peak_buffer_bytes")
+    growth_lines = ["growth factor (largest/smallest document):"]
+    for engine_name, points in series.items():
+        smallest = points[0][1]
+        largest = points[-1][1]
+        if smallest > 0:
+            growth_lines.append(f"  {engine_name}: {largest / smallest:.1f}x")
+        else:
+            growth_lines.append(f"  {engine_name}: constant (0 B at every size)")
+    content = write_report("f3_memory_scaling.txt", series_text, "\n".join(growth_lines))
+    print("\n" + content)

@@ -1,0 +1,65 @@
+"""Experiment F4 — evaluation runtime as a function of document size.
+
+All three engines process documents in time linear in the document size (the
+FluX engine is single-pass; the baselines parse everything before
+evaluating).  The figure checks that linearity and compares the constant
+factors; the important qualitative outcome is that the FluX engine's
+streaming machinery does not introduce super-linear behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_series, series_by
+from repro.workloads.queries import get_query
+
+from conftest import SCALING_BOOKS, run_and_record, write_report
+
+_MEASUREMENTS: List[Measurement] = []
+_ENGINE_NAMES = ["flux", "projection", "dom"]
+_SPEC = get_query("BIB-Q3")
+
+
+@pytest.mark.parametrize("books", SCALING_BOOKS)
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+def test_f4_runtime_scaling(benchmark, engine_name, books, bib_engines, bib_documents_by_size):
+    document_name = f"bib-{books}"
+    document = bib_documents_by_size[document_name]
+    engine = bib_engines[engine_name]
+    result = run_and_record(
+        benchmark,
+        engine,
+        engine_name,
+        _SPEC.xquery,
+        _SPEC.key,
+        document,
+        document_name,
+        _MEASUREMENTS,
+    )
+    assert result.output
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_f4():
+    yield
+    if not _MEASUREMENTS:
+        return
+    series_text = format_series(
+        _MEASUREMENTS,
+        x_key="document_bytes",
+        metric="elapsed_seconds",
+        title="F4: evaluation runtime vs document size (BIB-Q3, strong DTD)",
+    )
+    series = series_by(_MEASUREMENTS, metric="elapsed_seconds")
+    linearity = ["runtime growth vs size growth (ratio ~1 means linear):"]
+    for engine_name, points in series.items():
+        (x0, y0), (x1, y1) = points[0], points[-1]
+        if y0 > 0 and x0 > 0:
+            ratio = (y1 / y0) / (x1 / x0)
+            linearity.append(f"  {engine_name}: {ratio:.2f}")
+    content = write_report("f4_runtime_scaling.txt", series_text, "\n".join(linearity))
+    print("\n" + content)

@@ -1,0 +1,69 @@
+"""Experiment F7 — auction (XMark-style) workload across all engines.
+
+The companion paper's evaluation also uses XMark auction data.  This
+benchmark runs the four catalogued auction queries on the generated auction
+site and reports per-engine memory and runtime.  Expected shape: the
+streaming and bounded queries behave as on the bibliography workload (FluX
+buffers nothing / a bounded amount); the value join AUC-A3 is the case where
+document sections must be held in memory — the ``flux-no-reroot`` column
+shows the conservative fallback (whole common ancestor) when the
+absolute-to-relative path rewrite is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_table
+from repro.engines.flux_engine import FluxEngine
+from repro.workloads.dtds import AUCTION_DTD
+from repro.workloads.queries import queries_for_workload
+
+from conftest import run_and_record, write_report
+
+_MEASUREMENTS: List[Measurement] = []
+_QUERIES = queries_for_workload("auction")
+_ENGINE_NAMES = ["flux", "flux-no-reroot", "projection", "dom"]
+
+
+@pytest.mark.parametrize("query_key", [spec.key for spec in _QUERIES])
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+def test_f7_auction(benchmark, engine_name, query_key, auction_engines, auction_document):
+    spec = next(s for s in _QUERIES if s.key == query_key)
+    if engine_name == "flux-no-reroot":
+        engine = FluxEngine(AUCTION_DTD, enable_path_relativization=False)
+    else:
+        engine = auction_engines[engine_name]
+    result = run_and_record(
+        benchmark,
+        engine,
+        engine_name,
+        spec.xquery,
+        spec.key,
+        auction_document,
+        "auction-1.0",
+        _MEASUREMENTS,
+    )
+    assert result.output
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_f7():
+    yield
+    if not _MEASUREMENTS:
+        return
+    memory = format_table(
+        _MEASUREMENTS,
+        metric="peak_buffer_bytes",
+        title="F7: auction workload — peak buffer memory",
+    )
+    runtime = format_table(
+        _MEASUREMENTS,
+        metric="elapsed_seconds",
+        title="F7: auction workload — evaluation runtime",
+    )
+    content = write_report("f7_xmark_suite.txt", memory, runtime)
+    print("\n" + content)

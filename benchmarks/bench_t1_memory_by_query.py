@@ -1,0 +1,64 @@
+"""Experiment T1 — peak buffer memory per engine per bibliography query.
+
+Paper claim (Conclusions / companion-paper evaluation): "FluXQuery consumes
+both far less memory and runtime than other XQuery systems.  The difference
+is particularly clear for main memory consumption."
+
+This benchmark runs the six catalogued bibliography queries on a strong-DTD
+bibliography document with every engine and reports the peak buffered bytes.
+Expected shape: FluX ≪ projection ≪ DOM; streaming queries (Q3, Q4, Q6)
+buffer nothing at all in FluX.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_table
+from repro.workloads.queries import queries_for_workload
+
+from conftest import run_and_record, write_report
+
+_MEASUREMENTS: List[Measurement] = []
+_QUERIES = queries_for_workload("bib")
+_ENGINE_NAMES = ["flux", "projection", "dom"]
+
+
+@pytest.mark.parametrize("query_key", [spec.key for spec in _QUERIES])
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+def test_t1_memory(benchmark, engine_name, query_key, bib_engines, bib_document):
+    spec = next(s for s in _QUERIES if s.key == query_key)
+    engine = bib_engines[engine_name]
+    result = run_and_record(
+        benchmark,
+        engine,
+        engine_name,
+        spec.xquery,
+        spec.key,
+        bib_document,
+        "bib-strong",
+        _MEASUREMENTS,
+    )
+    assert result.output
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_t1():
+    yield
+    if not _MEASUREMENTS:
+        return
+    table = format_table(
+        _MEASUREMENTS,
+        metric="peak_buffer_bytes",
+        title="T1: peak buffer memory per query (strong bibliography DTD)",
+    )
+    fractions = format_table(
+        _MEASUREMENTS,
+        metric="document_bytes",
+        title="(document size per row, for reference)",
+    )
+    content = write_report("t1_memory_by_query.txt", table, fractions)
+    print("\n" + content)

@@ -1,0 +1,60 @@
+"""Experiment T2 — evaluation runtime per engine per bibliography query.
+
+Paper claim: FluXQuery's runtime is lower than that of conventional engines
+(the gap is smaller than for memory).  On this pure-Python substrate the
+*relative* ordering is what matters: the FluX engine must stay within a small
+constant factor of the DOM engine while using a fraction of its memory, and
+must not degrade with document size (see F4 for scaling).
+
+The timing measured here is query evaluation only; query compilation is done
+once beforehand (the optimizer's cost is reported by the pipeline itself and
+is independent of document size).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_table
+from repro.workloads.queries import queries_for_workload
+
+from conftest import run_and_record, write_report
+
+_MEASUREMENTS: List[Measurement] = []
+_QUERIES = queries_for_workload("bib")
+_ENGINE_NAMES = ["flux", "projection", "dom"]
+
+
+@pytest.mark.parametrize("query_key", [spec.key for spec in _QUERIES])
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+def test_t2_runtime(benchmark, engine_name, query_key, bib_engines, bib_document):
+    spec = next(s for s in _QUERIES if s.key == query_key)
+    engine = bib_engines[engine_name]
+    result = run_and_record(
+        benchmark,
+        engine,
+        engine_name,
+        spec.xquery,
+        spec.key,
+        bib_document,
+        "bib-strong",
+        _MEASUREMENTS,
+    )
+    assert result.output
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_t2():
+    yield
+    if not _MEASUREMENTS:
+        return
+    table = format_table(
+        _MEASUREMENTS,
+        metric="elapsed_seconds",
+        title="T2: evaluation runtime per query (strong bibliography DTD)",
+    )
+    content = write_report("t2_runtime_by_query.txt", table)
+    print("\n" + content)

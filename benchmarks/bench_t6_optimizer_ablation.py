@@ -1,0 +1,95 @@
+"""Experiment T6 — optimizer ablation (the Section 3.1 rewrite rules).
+
+Each FluX optimizer feature is switched off in turn to quantify its
+contribution on the micro-queries the paper uses to motivate it:
+
+* **order-constraint scheduling** (the core of the FluX translation) —
+  measured on XMP Q3: without it, every non-first sub-expression is buffered;
+* **cardinality-based loop merging** — measured on the double
+  ``$book/publisher`` loop of Section 3.1;
+* **co-occurrence-based conditional elimination** — measured on the
+  ``author = "Goedel" and editor = "Goedel"`` conditional of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_table
+from repro.engines.flux_engine import FluxEngine
+from repro.workloads.dtds import BIB_DTD_STRONG
+from repro.workloads.queries import get_query
+
+from conftest import run_and_record, write_report
+
+_MEASUREMENTS: List[Measurement] = []
+
+_MERGE_QUERY = """
+<out>{ for $book in $ROOT/bib/book return
+  <entry>
+    { for $x in $book/publisher return <a>{ $x }</a> }
+    { for $x in $book/publisher return <b>{ $x }</b> }
+  </entry> }</out>
+"""
+
+_UNSAT_QUERY = """
+<out>{ for $book in $ROOT/bib/book return
+  if ($book/author/last = "Goedel" and $book/editor/last = "Goedel")
+  then <hit>{ $book/title }</hit> else () }</out>
+"""
+
+_CASES = {
+    "q3/full-optimizer": (get_query("BIB-Q3").xquery, {}),
+    "q3/no-order-constraints": (get_query("BIB-Q3").xquery, {"use_order_constraints": False}),
+    "merge/full-optimizer": (_MERGE_QUERY, {}),
+    "merge/no-loop-merging": (_MERGE_QUERY, {"enable_loop_merging": False}),
+    "unsat/full-optimizer": (_UNSAT_QUERY, {}),
+    "unsat/no-conditional-elimination": (
+        _UNSAT_QUERY,
+        {"enable_conditional_elimination": False},
+    ),
+}
+
+
+@pytest.mark.parametrize("case", list(_CASES))
+def test_t6_ablation(benchmark, case, bib_document):
+    query, flags = _CASES[case]
+    engine = FluxEngine(BIB_DTD_STRONG, **flags)
+    group, variant = case.split("/")
+    result = run_and_record(
+        benchmark,
+        engine,
+        variant,
+        query,
+        group,
+        bib_document,
+        "bib-strong",
+        _MEASUREMENTS,
+    )
+    assert result.output
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_t6():
+    yield
+    if not _MEASUREMENTS:
+        return
+    memory = format_table(
+        _MEASUREMENTS,
+        metric="peak_buffer_bytes",
+        row_key="query",
+        column_key="engine",
+        title="T6: optimizer ablation — peak buffer memory",
+    )
+    runtime = format_table(
+        _MEASUREMENTS,
+        metric="elapsed_seconds",
+        row_key="query",
+        column_key="engine",
+        title="T6: optimizer ablation — evaluation runtime",
+    )
+    content = write_report("t6_optimizer_ablation.txt", memory, runtime)
+    print("\n" + content)

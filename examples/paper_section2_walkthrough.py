@@ -1,0 +1,107 @@
+"""Walkthrough of Section 2 of the paper: the same XQuery under two DTDs.
+
+Run with::
+
+    python examples/paper_section2_walkthrough.py
+
+The paper's Section 2 develops FluX around one observation: how much an
+engine must buffer for XMP Q3 depends entirely on what the DTD guarantees
+about the order of a book's children.
+
+* Under the weak DTD ``book (title|author)*`` the titles of a book must be
+  output before its authors (XQuery semantics), but the stream may interleave
+  them — so the authors of the *current* book are buffered until the book
+  closes, and nothing more.
+* Under the strong DTD of Figure 1, ``title`` precedes all authors, so both
+  can be copied to the output as they arrive; no buffering at all.
+
+This script compiles the query against both DTDs, prints the two FluX
+queries (they match the ones shown in the paper), runs them on matching
+documents and reports the buffering behaviour.
+"""
+
+from repro import DomEngine, FluxEngine, compile_xquery
+
+WEAK_DTD = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+"""
+
+STRONG_DTD = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+#: XMP Q3 exactly as printed in the paper.
+QUERY = """
+<results>
+{ for $b in $ROOT/bib/book return
+  <result> { $b/title } { $b/author } </result> }
+</results>
+"""
+
+#: A document in which authors arrive *before* the title of the first book —
+#: valid for the weak DTD only.
+WEAK_DOCUMENT = (
+    "<bib>"
+    "<book><author>Buneman</author><title>Semistructured Data</title>"
+    "<author>Suciu</author></book>"
+    "<book><title>Streams</title><author>Koch</author></book>"
+    "</bib>"
+)
+
+#: The same bibliographic content, ordered as Figure 1 requires.
+STRONG_DOCUMENT = (
+    "<bib>"
+    "<book year=\"1999\"><title>Semistructured Data</title>"
+    "<author>Buneman</author><author>Suciu</author>"
+    "<publisher>MK</publisher><price>40.00</price></book>"
+    "<book year=\"2004\"><title>Streams</title><author>Koch</author>"
+    "<publisher>VLDB</publisher><price>10.00</price></book>"
+    "</bib>"
+)
+
+
+def show(dtd_name: str, dtd: str, document: str) -> None:
+    print("=" * 72)
+    print(f"DTD: {dtd_name}")
+    print("=" * 72)
+    compiled = compile_xquery(QUERY, dtd)
+    print("FluX translation:")
+    print(compiled.flux.to_flux_syntax())
+    print()
+    print("scheduling:", compiled.scheduling_report.summary())
+
+    engine = FluxEngine(dtd)
+    result = engine.execute(QUERY, document)
+    reference = DomEngine().execute(QUERY, document)
+    print("buffer description forest:")
+    print(engine.compile(QUERY).buffer_description)
+    print()
+    print("output:", result.output)
+    print("matches the conventional (DOM) engine:", result.output == reference.output)
+    print(f"peak buffered bytes: {result.peak_buffer_bytes} "
+          f"(document is {len(document)} bytes; DOM engine buffers "
+          f"{reference.peak_buffer_bytes})")
+    print()
+
+
+def main() -> None:
+    show("weak — book (title|author)*", WEAK_DTD, WEAK_DOCUMENT)
+    show("strong — Figure 1", STRONG_DTD, STRONG_DOCUMENT)
+    print(
+        "Note how the weak DTD forces an `on-first past(title,author)` handler\n"
+        "(the authors of one book are buffered), while the strong DTD's order\n"
+        "constraint lets both titles and authors stream straight to the output."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Benchmark harness and reporting.
+
+:mod:`repro.bench.harness` runs (engine, query, document) combinations and
+collects :class:`~repro.bench.harness.Measurement` rows;
+:mod:`repro.bench.reporting` renders them as the tables and series the
+experiments in ``EXPERIMENTS.md`` report.
+"""
+
+from repro.bench.harness import BenchmarkHarness, Measurement, run_comparison
+from repro.bench.reporting import format_series, format_table, series_by
+
+__all__ = [
+    "BenchmarkHarness",
+    "Measurement",
+    "run_comparison",
+    "format_table",
+    "format_series",
+    "series_by",
+]

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+Usage (installed as a module; no console script is registered to keep the
+package dependency-free)::
+
+    python -m repro run --query query.xq --input document.xml [--dtd schema.dtd]
+    python -m repro explain --query query.xq --dtd schema.dtd
+    python -m repro compare --query query.xq --input document.xml --dtd schema.dtd
+
+* ``run`` evaluates an XQuery over an XML document with the FluX engine and
+  writes the result to stdout (or ``--output``), reporting buffering and
+  timing statistics on stderr.
+* ``explain`` compiles a query and prints the optimizer stages: the
+  normalized/optimized XQuery, the generated FluX query, and the buffer
+  description forest.
+* ``compare`` runs the query with all three engines (FluX, projection, DOM)
+  and prints a memory/runtime comparison table.
+
+Queries and documents are read from files; ``-`` means stdin.  The DTD can
+be given explicitly with ``--dtd``; otherwise, if the document carries a
+DOCTYPE with an internal subset, that subset is used; without any schema the
+query still runs, with maximal buffering.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.optimizer import OptimizerPipeline
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD
+from repro.engines.dom_engine import DomEngine
+from repro.engines.flux_engine import FluxEngine
+from repro.engines.projection_engine import ProjectionEngine
+from repro.bench.harness import BenchmarkHarness
+from repro.bench.reporting import format_table
+from repro.xmlstream.parser import StreamingXMLParser
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load_dtd(dtd_path: Optional[str], document: Optional[str]) -> Optional[DTD]:
+    if dtd_path:
+        return parse_dtd(_read(dtd_path))
+    if document:
+        parser = StreamingXMLParser(document)
+        try:
+            for _ in parser.events():
+                pass
+        except Exception:  # pragma: no cover - malformed input surfaces later
+            return None
+        if parser.doctype_internal_subset:
+            return parse_dtd(parser.doctype_internal_subset)
+    return None
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    query = _read(args.query)
+    document = _read(args.input)
+    dtd = _load_dtd(args.dtd, document)
+    engine = FluxEngine(dtd, validate=not args.no_validate)
+    result = engine.execute(query, document)
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.output)
+    else:
+        sys.stdout.write(result.output + "\n")
+    print(
+        f"[flux] peak buffer: {result.peak_buffer_bytes} B, "
+        f"time: {result.stats.elapsed_seconds * 1000:.1f} ms, "
+        f"events: {result.stats.events_processed}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    query = _read(args.query)
+    dtd = _load_dtd(args.dtd, None)
+    pipeline = OptimizerPipeline(dtd)
+    compiled = pipeline.compile(query)
+    print(compiled.describe())
+    from repro.runtime.compiler import compile_flux
+
+    plan = compile_flux(compiled.flux, compiled.dtd)
+    print("== Buffer description forest ==")
+    print(plan.bdf.describe())
+    print("== Safety ==")
+    print("safe" if compiled.is_safe else "\n".join(str(v) for v in compiled.safety_violations))
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    query = _read(args.query)
+    document = _read(args.input)
+    dtd = _load_dtd(args.dtd, document)
+    engines = {
+        "flux": FluxEngine(dtd),
+        "projection": ProjectionEngine(dtd),
+        "dom": DomEngine(dtd),
+    }
+    harness = BenchmarkHarness(engines)
+    harness.run(query, document, args.query, args.input)
+    print(format_table(harness.measurements, metric="peak_buffer_bytes", title="peak buffer memory"))
+    print()
+    print(format_table(harness.measurements, metric="elapsed_seconds", title="evaluation runtime"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FluXQuery reproduction: streaming XQuery with DTD-driven buffer minimization",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="evaluate a query over a document")
+    run_parser.add_argument("--query", "-q", required=True, help="XQuery file ('-' for stdin)")
+    run_parser.add_argument("--input", "-i", required=True, help="XML document file ('-' for stdin)")
+    run_parser.add_argument("--dtd", "-d", help="DTD file (defaults to the document's DOCTYPE)")
+    run_parser.add_argument("--output", "-o", help="result file (default stdout)")
+    run_parser.add_argument("--no-validate", action="store_true", help="skip DTD validation")
+    run_parser.set_defaults(handler=_command_run)
+
+    explain_parser = subparsers.add_parser("explain", help="show the optimizer stages for a query")
+    explain_parser.add_argument("--query", "-q", required=True)
+    explain_parser.add_argument("--dtd", "-d", help="DTD file")
+    explain_parser.set_defaults(handler=_command_explain)
+
+    compare_parser = subparsers.add_parser("compare", help="compare engines on one query/document")
+    compare_parser.add_argument("--query", "-q", required=True)
+    compare_parser.add_argument("--input", "-i", required=True)
+    compare_parser.add_argument("--dtd", "-d", help="DTD file")
+    compare_parser.set_defaults(handler=_command_compare)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point used by ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Core of the reproduction: the FluX query language and the optimizer.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.flux` — the FluX query language AST (``process-stream``,
+  ``on`` and ``on-first past(...)`` handlers) and its pretty-printer;
+* :mod:`repro.core.normalform` — rewriting XQuery into the normal form the
+  optimizer operates on;
+* :mod:`repro.core.algebra` — DTD-driven algebraic optimizations
+  (cardinality-based for-loop merging, elimination of unsatisfiable
+  conditionals, structural simplification);
+* :mod:`repro.core.scheduler` — the schema-based scheduling algorithm that
+  rewrites normalized XQuery into FluX, turning sub-expressions into
+  streaming ``on`` handlers whenever order constraints allow and into
+  buffered ``on-first`` handlers otherwise;
+* :mod:`repro.core.safety` — the safety check of FluX queries w.r.t. a DTD;
+* :mod:`repro.core.optimizer` — the end-to-end pipeline
+  (parse → normalize → optimize → schedule → check).
+"""
+
+from repro.core.flux import (
+    FBufferedExpr,
+    FConstructor,
+    FCopyVar,
+    FIf,
+    FluxExpr,
+    FluxQuery,
+    FProcessStream,
+    FSequence,
+    FText,
+    OnFirstHandler,
+    OnHandler,
+)
+from repro.core.normalform import normalize
+from repro.core.algebra import AlgebraicOptimizer, OptimizationReport
+from repro.core.scheduler import schedule_query
+from repro.core.safety import SafetyViolation, check_safety
+from repro.core.optimizer import OptimizerPipeline, OptimizedQuery, compile_xquery
+
+__all__ = [
+    "FluxExpr",
+    "FluxQuery",
+    "FSequence",
+    "FText",
+    "FConstructor",
+    "FCopyVar",
+    "FBufferedExpr",
+    "FIf",
+    "FProcessStream",
+    "OnHandler",
+    "OnFirstHandler",
+    "normalize",
+    "AlgebraicOptimizer",
+    "OptimizationReport",
+    "schedule_query",
+    "check_safety",
+    "SafetyViolation",
+    "OptimizerPipeline",
+    "OptimizedQuery",
+    "compile_xquery",
+]

@@ -1,0 +1,460 @@
+"""Algebraic, DTD-driven optimization of normalized XQuery.
+
+Section 3.1 of the paper describes two schema-driven algebraic optimizations
+(plus structural clean-up), which this module implements:
+
+**For-loop merging via cardinality constraints.**  Two consecutive loops over
+the same path force the engine to buffer the common source; if the DTD states
+that the source has at most one element (``a ∈ ||≤1 r``), the loops can be
+merged into one::
+
+    { for $x in $r/a return α }          { for $x in $r/a return α β }
+    { for $x in $r/a return β }    ==>                                (a ∈ ||≤1 r)
+
+**Elimination of unsatisfiable conditionals via language constraints.**  If a
+conditional requires children whose co-occurrence the DTD forbids (the
+paper's example: ``$book/author = "Goedel" and $book/editor = "Goedel"``
+under the DTD of Figure 1), the condition can never hold and the conditional
+is replaced by its else-branch.
+
+**Absolute-to-relative path rewriting via cardinality constraints.**  A path
+rooted at an outer variable (typically the document root, as in a join whose
+inner loop iterates over ``$ROOT/site/closed_auctions/...`` inside a loop
+over ``$ROOT/site/people/person``) is re-rooted at the innermost enclosing
+loop variable whose binding path is a unique prefix (every step has
+cardinality ≤ 1).  This turns cross-section joins into expressions over the
+common ancestor's *children*, so the scheduler only buffers the joined
+sections instead of the whole ancestor.
+
+**Structural simplification.**  Empty-branch conditionals, loops over empty
+sequences, and nested sequences are cleaned up so the scheduler sees small
+trees.
+
+The optimizer records which rules fired in an :class:`OptimizationReport`;
+the ablation benchmark (T6) switches individual rules off through the
+constructor flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.dtd.schema import DTD
+from repro.xquery.analysis import (
+    DOCUMENT_TYPE,
+    substitute_variable,
+    variable_element_types,
+)
+from repro.xquery.ast import DOCUMENT_VARIABLE
+from repro.xquery.ast import (
+    AndExpr,
+    AttributeStep,
+    ChildStep,
+    Comparison,
+    DescendantStep,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    FunctionCall,
+    IfExpr,
+    LetExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SequenceExpr,
+    VarRef,
+    XQueryExpr,
+    sequence_of,
+    sequence_items,
+)
+
+
+@dataclass(frozen=True)
+class _ScopeEntry:
+    """Absolute binding path of an in-scope loop variable.
+
+    ``steps`` is the chain of child labels from the document node; ``unique``
+    records whether the DTD guarantees at most one node matches that chain
+    (the precondition for using the variable as a relativization target).
+    """
+
+    steps: Tuple[str, ...]
+    unique: bool
+
+
+@dataclass
+class OptimizationReport:
+    """Records which algebraic rewrites fired during optimization."""
+
+    merged_loops: int = 0
+    eliminated_conditionals: int = 0
+    simplifications: int = 0
+    relativized_paths: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"merged loops: {self.merged_loops}, "
+            f"eliminated conditionals: {self.eliminated_conditionals}, "
+            f"relativized paths: {self.relativized_paths}, "
+            f"simplifications: {self.simplifications}"
+        )
+
+
+class AlgebraicOptimizer:
+    """Applies the DTD-driven rewrite rules to a normalized query.
+
+    Parameters
+    ----------
+    dtd:
+        Schema used to derive constraints; ``None`` disables all
+        schema-driven rules (structural simplification still runs).
+    enable_loop_merging / enable_conditional_elimination / enable_simplification:
+        Ablation switches for the individual rule families.
+    """
+
+    def __init__(
+        self,
+        dtd: Optional[DTD],
+        enable_loop_merging: bool = True,
+        enable_conditional_elimination: bool = True,
+        enable_simplification: bool = True,
+        enable_path_relativization: bool = True,
+    ):
+        self.dtd = dtd
+        self.constraints = dtd.constraints() if dtd is not None else None
+        self.enable_loop_merging = enable_loop_merging
+        self.enable_conditional_elimination = enable_conditional_elimination
+        self.enable_simplification = enable_simplification
+        self.enable_path_relativization = enable_path_relativization
+        self.report = OptimizationReport()
+
+    # -------------------------------------------------------------- driver
+
+    def optimize(self, expr: XQueryExpr) -> XQueryExpr:
+        """Optimize a normalized query, returning the rewritten AST."""
+        types = variable_element_types(expr, self.dtd)
+        scopes: Dict[str, "_ScopeEntry"] = {
+            DOCUMENT_VARIABLE: _ScopeEntry(steps=(), unique=True)
+        }
+        result = self._rewrite(expr, types, scopes)
+        if self.enable_simplification:
+            result = self._simplify(result)
+        return result
+
+    # ------------------------------------------------------------- rewrite
+
+    def _rewrite(
+        self, expr: XQueryExpr, types: Dict[str, str], scopes: Dict[str, "_ScopeEntry"]
+    ) -> XQueryExpr:
+        if isinstance(expr, SequenceExpr):
+            items = [self._rewrite(item, types, scopes) for item in expr.items]
+            if self.enable_loop_merging:
+                items = self._merge_adjacent_loops(items, types)
+            return sequence_of(items)
+        if isinstance(expr, ElementConstructor):
+            return ElementConstructor(
+                expr.name, expr.attributes, self._rewrite(expr.content, types, scopes)
+            )
+        if isinstance(expr, PathExpr):
+            return self._relativize_path(expr, scopes)
+        if isinstance(expr, ForExpr):
+            return self._rewrite_for(expr, types, scopes)
+        if isinstance(expr, LetExpr):
+            return LetExpr(
+                expr.var,
+                self._rewrite(expr.value, types, scopes),
+                self._rewrite(expr.body, types, scopes),
+            )
+        if isinstance(expr, IfExpr):
+            condition = self._rewrite(expr.condition, types, scopes)
+            then_branch = self._rewrite(expr.then_branch, types, scopes)
+            else_branch = self._rewrite(expr.else_branch, types, scopes)
+            if self.enable_conditional_elimination and self._condition_unsatisfiable(
+                condition, types
+            ):
+                self.report.eliminated_conditionals += 1
+                self.report.notes.append(
+                    f"eliminated unsatisfiable conditional: {condition.to_xquery()}"
+                )
+                return else_branch
+            return IfExpr(condition, then_branch, else_branch)
+        if isinstance(expr, Comparison):
+            return Comparison(
+                expr.op,
+                self._rewrite(expr.left, types, scopes),
+                self._rewrite(expr.right, types, scopes),
+            )
+        if isinstance(expr, AndExpr):
+            return AndExpr(
+                tuple(self._rewrite(operand, types, scopes) for operand in expr.operands)
+            )
+        if isinstance(expr, OrExpr):
+            return OrExpr(
+                tuple(self._rewrite(operand, types, scopes) for operand in expr.operands)
+            )
+        if isinstance(expr, NotExpr):
+            return NotExpr(self._rewrite(expr.operand, types, scopes))
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(
+                expr.name,
+                tuple(self._rewrite(argument, types, scopes) for argument in expr.arguments),
+            )
+        return expr
+
+    def _rewrite_for(
+        self, expr: ForExpr, types: Dict[str, str], scopes: Dict[str, "_ScopeEntry"]
+    ) -> XQueryExpr:
+        source = self._rewrite(expr.source, types, scopes)
+        where = self._rewrite(expr.where, types, scopes) if expr.where is not None else None
+        if isinstance(source, VarRef) and where is None and source.name in scopes:
+            # The relativization turned the source into an already-bound,
+            # single-valued variable: the loop degenerates to a substitution.
+            self.report.relativized_paths += 0  # counted where the path was rewritten
+            collapsed = substitute_variable(expr.body, expr.var, source)
+            return self._rewrite(collapsed, types, scopes)
+        inner_scopes = dict(scopes)
+        entry = self._scope_entry_for(source, types, scopes)
+        if entry is not None:
+            inner_scopes[expr.var] = entry
+        else:
+            inner_scopes.pop(expr.var, None)
+        return ForExpr(
+            expr.var,
+            source,
+            self._rewrite(expr.body, types, inner_scopes),
+            self._rewrite(where, types, inner_scopes) if where is not None else None,
+        )
+
+    # --------------------------------------------------- path relativization
+
+    def _scope_entry_for(
+        self, source: XQueryExpr, types: Dict[str, str], scopes: Dict[str, "_ScopeEntry"]
+    ) -> Optional["_ScopeEntry"]:
+        """Absolute binding path of a loop variable, when statically known."""
+        if not isinstance(source, PathExpr) or source.var not in scopes:
+            return None
+        if not all(isinstance(step, ChildStep) and step.name != "*" for step in source.steps):
+            return None
+        base = scopes[source.var]
+        unique = base.unique and self._path_at_most_once(source, types)
+        return _ScopeEntry(
+            steps=base.steps + tuple(step.name for step in source.steps), unique=unique
+        )
+
+    def _relativize_path(
+        self, path: PathExpr, scopes: Dict[str, "_ScopeEntry"]
+    ) -> XQueryExpr:
+        """Re-root ``path`` at the deepest unique enclosing loop variable."""
+        if not self.enable_path_relativization or self.constraints is None:
+            return path
+        if path.var not in scopes:
+            return path
+        base = scopes[path.var]
+        # Compose the absolute form of the leading child-step prefix.
+        leading: List[str] = []
+        index = 0
+        for step in path.steps:
+            if isinstance(step, ChildStep) and step.name != "*":
+                leading.append(step.name)
+                index += 1
+            else:
+                break
+        absolute = base.steps + tuple(leading)
+        trailing = path.steps[index:]
+        best_var: Optional[str] = None
+        best_entry: Optional[_ScopeEntry] = None
+        for var, entry in scopes.items():
+            if var == path.var:
+                continue
+            if not entry.unique:
+                continue
+            if len(entry.steps) <= len(base.steps):
+                continue  # no deeper than the current root: no benefit
+            if len(entry.steps) > len(absolute):
+                continue
+            if absolute[: len(entry.steps)] != entry.steps:
+                continue
+            if best_entry is None or len(entry.steps) > len(best_entry.steps):
+                best_var, best_entry = var, entry
+        if best_var is None or best_entry is None:
+            return path
+        remaining = absolute[len(best_entry.steps):]
+        self.report.relativized_paths += 1
+        self.report.notes.append(
+            f"re-rooted {path.to_xquery()} at ${best_var}"
+        )
+        new_steps = tuple(ChildStep(name) for name in remaining) + trailing
+        if not new_steps:
+            return VarRef(best_var)
+        return PathExpr(best_var, new_steps)
+
+    # --------------------------------------------------------- loop merge
+
+    def _merge_adjacent_loops(
+        self, items: List[XQueryExpr], types: Dict[str, str]
+    ) -> List[XQueryExpr]:
+        merged: List[XQueryExpr] = []
+        for item in items:
+            previous = merged[-1] if merged else None
+            if (
+                isinstance(item, ForExpr)
+                and isinstance(previous, ForExpr)
+                and self._mergeable(previous, item, types)
+            ):
+                body = sequence_of(
+                    [
+                        previous.body,
+                        substitute_variable(item.body, item.var, VarRef(previous.var)),
+                    ]
+                )
+                merged[-1] = ForExpr(previous.var, previous.source, body, None)
+                self.report.merged_loops += 1
+                self.report.notes.append(
+                    f"merged consecutive loops over {previous.source.to_xquery()}"
+                )
+            else:
+                merged.append(item)
+        return merged
+
+    def _mergeable(self, first: ForExpr, second: ForExpr, types: Dict[str, str]) -> bool:
+        if first.where is not None or second.where is not None:
+            return False
+        if first.source != second.source:
+            return False
+        return self._path_at_most_once(first.source, types)
+
+    def _path_at_most_once(self, source: XQueryExpr, types: Dict[str, str]) -> bool:
+        """Whether the DTD guarantees that ``source`` yields at most one node."""
+        if self.constraints is None or not isinstance(source, PathExpr):
+            return False
+        current_type = types.get(source.var)
+        if current_type is None:
+            return False
+        for step in source.steps:
+            if not isinstance(step, ChildStep) or step.name == "*":
+                return False
+            if current_type == DOCUMENT_TYPE:
+                if self.dtd is None or step.name != self.dtd.root:
+                    return False
+            elif not self.constraints.at_most_once(current_type, step.name):
+                return False
+            current_type = step.name
+        return True
+
+    # ---------------------------------------------- conditional elimination
+
+    def _condition_unsatisfiable(self, condition: XQueryExpr, types: Dict[str, str]) -> bool:
+        """Whether the DTD implies ``condition`` can never be true.
+
+        The check is sound but deliberately incomplete: it looks at the
+        conjunction of *required paths* (paths that must be non-empty for the
+        condition to possibly hold) and asks the DTD whether any pair of
+        required child labels of the same variable can never co-occur, or
+        whether a required label can never occur at all.
+        """
+        if self.constraints is None:
+            return False
+        required = self._required_paths(condition)
+        if required is None:
+            return False
+        by_var: Dict[str, Set[str]] = {}
+        for var, label in required:
+            by_var.setdefault(var, set()).add(label)
+        for var, labels in by_var.items():
+            element_type = types.get(var)
+            if element_type is None or element_type == DOCUMENT_TYPE:
+                continue
+            if self.dtd is not None and not self.dtd.has_element(element_type):
+                continue
+            for label in labels:
+                if self.constraints.never_occurs(element_type, label):
+                    return True
+            if len(labels) >= 2 and not self.constraints.can_cooccur(element_type, labels):
+                return True
+        return False
+
+    def _required_paths(self, condition: XQueryExpr) -> Optional[Set[Tuple[str, str]]]:
+        """Paths (variable, first child label) that must be non-empty for the
+        condition to hold; ``None`` when the condition's shape is not
+        understood (disjunctions, negations, ...)."""
+        if isinstance(condition, AndExpr):
+            required: Set[Tuple[str, str]] = set()
+            for operand in condition.operands:
+                part = self._required_paths(operand)
+                if part is None:
+                    return None
+                required |= part
+            return required
+        if isinstance(condition, Comparison):
+            required = set()
+            for side in (condition.left, condition.right):
+                required |= self._paths_of_operand(side)
+            return required
+        if isinstance(condition, PathExpr):
+            return self._paths_of_operand(condition)
+        if isinstance(condition, FunctionCall) and condition.name == "exists":
+            required = set()
+            for argument in condition.arguments:
+                required |= self._paths_of_operand(argument)
+            return required
+        return None
+
+    @staticmethod
+    def _paths_of_operand(expr: XQueryExpr) -> Set[Tuple[str, str]]:
+        if isinstance(expr, PathExpr) and expr.steps:
+            first = expr.steps[0]
+            if isinstance(first, ChildStep) and first.name != "*":
+                return {(expr.var, first.name)}
+        return set()
+
+    # ------------------------------------------------------ simplification
+
+    def _simplify(self, expr: XQueryExpr) -> XQueryExpr:
+        if isinstance(expr, SequenceExpr):
+            items = [self._simplify(item) for item in expr.items]
+            items = [item for item in items if not isinstance(item, EmptySequence)]
+            result = sequence_of(items)
+            if result != expr:
+                self.report.simplifications += 1
+            return result
+        if isinstance(expr, ElementConstructor):
+            return ElementConstructor(expr.name, expr.attributes, self._simplify(expr.content))
+        if isinstance(expr, ForExpr):
+            source = self._simplify(expr.source)
+            body = self._simplify(expr.body)
+            if isinstance(source, EmptySequence) or isinstance(body, EmptySequence):
+                self.report.simplifications += 1
+                return EmptySequence()
+            where = self._simplify(expr.where) if expr.where is not None else None
+            return ForExpr(expr.var, source, body, where)
+        if isinstance(expr, LetExpr):
+            return LetExpr(expr.var, self._simplify(expr.value), self._simplify(expr.body))
+        if isinstance(expr, IfExpr):
+            condition = self._simplify(expr.condition)
+            then_branch = self._simplify(expr.then_branch)
+            else_branch = self._simplify(expr.else_branch)
+            if isinstance(then_branch, EmptySequence) and isinstance(
+                else_branch, EmptySequence
+            ):
+                self.report.simplifications += 1
+                return EmptySequence()
+            if isinstance(condition, Literal):
+                self.report.simplifications += 1
+                return then_branch if condition.value else else_branch
+            if isinstance(condition, FunctionCall) and condition.name in ("true", "false"):
+                self.report.simplifications += 1
+                return then_branch if condition.name == "true" else else_branch
+            return IfExpr(condition, then_branch, else_branch)
+        return expr
+
+
+def optimize_query(
+    expr: XQueryExpr, dtd: Optional[DTD], **flags
+) -> Tuple[XQueryExpr, OptimizationReport]:
+    """Convenience wrapper: optimize ``expr`` and return (ast, report)."""
+    optimizer = AlgebraicOptimizer(dtd, **flags)
+    optimized = optimizer.optimize(expr)
+    return optimized, optimizer.report

@@ -1,0 +1,258 @@
+"""The FluX query language.
+
+FluX (Section 2 of the paper) extends the main structures of XQuery with the
+``process-stream`` construct for event-based query processing:
+
+.. code-block:: none
+
+    process-stream $x:
+        on a as $y return { ... };
+        on-first past(a, b) return { ... }
+
+A ``process-stream $x`` expression consists of handlers that process the
+children of the node bound to ``$x`` from left to right:
+
+* an ``on a as $y`` handler fires on each child labelled ``a``;
+* an ``on-first past(X)`` handler fires exactly once, as soon as the DTD
+  implies that no further child with a label in ``X`` can be encountered; its
+  body may safely read buffered ``$x/l`` paths for labels ``l`` that are
+  guaranteed to be past.
+
+The AST below also carries the *embedded XQuery* expressions that buffered
+handlers evaluate (``FBufferedExpr``), the streaming deep-copy of a bound
+variable (``FCopyVar``), conditionals over already-available data (``FIf``),
+and plain output construction (``FConstructor``/``FText``/``FSequence``).
+
+:class:`FluxQuery` wraps a FluX expression tree together with the DTD it was
+scheduled for.  ``to_flux_syntax`` renders the query in the concrete syntax
+used in the paper, which the examples print and the tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.dtd.schema import DTD
+from repro.xquery.ast import XQueryExpr
+
+
+class FluxExpr:
+    """Base class for FluX expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["FluxExpr", ...]:
+        """Direct FluX sub-expressions."""
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}"
+
+
+@dataclass(frozen=True, repr=False)
+class FSequence(FluxExpr):
+    """A sequence of FluX expressions, produced in order."""
+
+    items: Tuple[FluxExpr, ...]
+
+    def children(self) -> Tuple[FluxExpr, ...]:
+        return self.items
+
+
+@dataclass(frozen=True, repr=False)
+class FText(FluxExpr):
+    """Literal text written to the output."""
+
+    text: str
+
+
+@dataclass(frozen=True, repr=False)
+class FConstructor(FluxExpr):
+    """An element constructor: the start tag is emitted, the content is
+    evaluated, then the end tag is emitted."""
+
+    name: str
+    attributes: Tuple[Tuple[str, str], ...]
+    content: FluxExpr
+
+    def children(self) -> Tuple[FluxExpr, ...]:
+        return (self.content,)
+
+
+@dataclass(frozen=True, repr=False)
+class FCopyVar(FluxExpr):
+    """Deep-copy the node bound to ``$var`` to the output.
+
+    When ``$var`` is the active stream element and its children have not been
+    consumed, the copy is performed by streaming the element's events through
+    to the output with constant memory; otherwise the bound (buffered) tree is
+    serialized.
+    """
+
+    var: str
+
+
+@dataclass(frozen=True, repr=False)
+class FBufferedExpr(FluxExpr):
+    """An embedded XQuery expression evaluated against buffers and bindings.
+
+    This is how ``on-first`` handler bodies (and any sub-expression the
+    scheduler could not stream) are represented: the expression is evaluated
+    by the tree evaluator over the buffered paths of the enclosing
+    ``process-stream`` variables.
+    """
+
+    expr: XQueryExpr
+
+
+@dataclass(frozen=True, repr=False)
+class FIf(FluxExpr):
+    """A conditional whose condition is evaluable from bindings/buffers at
+    the point it is reached (e.g. attribute tests on stream variables)."""
+
+    condition: XQueryExpr
+    then_branch: FluxExpr
+    else_branch: FluxExpr
+
+    def children(self) -> Tuple[FluxExpr, ...]:
+        return (self.then_branch, self.else_branch)
+
+
+@dataclass(frozen=True, repr=False)
+class OnHandler:
+    """``on <label> as $<var> return <body>`` — fires on each matching child."""
+
+    label: str
+    var: str
+    body: FluxExpr
+
+
+@dataclass(frozen=True, repr=False)
+class OnFirstHandler:
+    """``on-first past(<labels>) return <body>`` — fires exactly once, as soon
+    as no child with a label in ``labels`` can occur anymore.
+
+    An empty label set means the handler fires immediately when the
+    ``process-stream`` scope is entered.
+    """
+
+    past_labels: FrozenSet[str]
+    body: FluxExpr
+
+
+Handler = Union[OnHandler, OnFirstHandler]
+
+
+@dataclass(frozen=True, repr=False)
+class FProcessStream(FluxExpr):
+    """``process-stream $var`` over an element of type ``element_type``.
+
+    Handlers are ordered: their order is the output order of the original
+    XQuery sub-expressions they implement, which the runtime preserves.
+    """
+
+    var: str
+    element_type: str
+    handlers: Tuple[Handler, ...]
+
+    def children(self) -> Tuple[FluxExpr, ...]:
+        return tuple(handler.body for handler in self.handlers)
+
+    def on_handlers(self) -> List[OnHandler]:
+        return [handler for handler in self.handlers if isinstance(handler, OnHandler)]
+
+    def on_first_handlers(self) -> List[OnFirstHandler]:
+        return [handler for handler in self.handlers if isinstance(handler, OnFirstHandler)]
+
+
+@dataclass(frozen=True)
+class FluxQuery:
+    """A complete FluX query: the expression tree plus the DTD it targets."""
+
+    body: FluxExpr
+    dtd: Optional[DTD] = None
+
+    def to_flux_syntax(self) -> str:
+        """Render the query in the concrete FluX syntax of the paper."""
+        lines: List[str] = []
+        _render(self.body, lines, 0)
+        return "\n".join(lines)
+
+    def process_streams(self) -> List[FProcessStream]:
+        """All ``process-stream`` nodes of the query, in document order."""
+        return [node for node in walk_flux(self.body) if isinstance(node, FProcessStream)]
+
+
+def walk_flux(expr: FluxExpr) -> Iterator[FluxExpr]:
+    """Yield ``expr`` and every FluX descendant (pre-order)."""
+    yield expr
+    for child in expr.children():
+        yield from walk_flux(child)
+
+
+def flux_sequence(items: Iterable[FluxExpr]) -> FluxExpr:
+    """Build a canonical FluX sequence (flattened, unwrapped when possible)."""
+    flat: List[FluxExpr] = []
+    for item in items:
+        if isinstance(item, FSequence):
+            flat.extend(item.items)
+        else:
+            flat.append(item)
+    if len(flat) == 1:
+        return flat[0]
+    return FSequence(tuple(flat))
+
+
+# ------------------------------------------------------------ pretty printer
+
+
+def _indent(depth: int) -> str:
+    return "  " * depth
+
+
+def _render(expr: FluxExpr, lines: List[str], depth: int) -> None:
+    pad = _indent(depth)
+    if isinstance(expr, FSequence):
+        for item in expr.items:
+            _render(item, lines, depth)
+        if not expr.items:
+            lines.append(pad + "()")
+        return
+    if isinstance(expr, FText):
+        lines.append(pad + f"text {expr.text!r}")
+        return
+    if isinstance(expr, FConstructor):
+        attrs = "".join(f' {name}="{value}"' for name, value in expr.attributes)
+        lines.append(pad + f"<{expr.name}{attrs}> {{")
+        _render(expr.content, lines, depth + 1)
+        lines.append(pad + f"}} </{expr.name}>")
+        return
+    if isinstance(expr, FCopyVar):
+        lines.append(pad + f"{{ ${expr.var} }}")
+        return
+    if isinstance(expr, FBufferedExpr):
+        lines.append(pad + f"{{ {expr.expr.to_xquery()} }}")
+        return
+    if isinstance(expr, FIf):
+        lines.append(pad + f"if ({expr.condition.to_xquery()}) then {{")
+        _render(expr.then_branch, lines, depth + 1)
+        lines.append(pad + "} else {")
+        _render(expr.else_branch, lines, depth + 1)
+        lines.append(pad + "}")
+        return
+    if isinstance(expr, FProcessStream):
+        lines.append(pad + f"process-stream ${expr.var}:")
+        for index, handler in enumerate(expr.handlers):
+            terminator = ";" if index < len(expr.handlers) - 1 else ""
+            if isinstance(handler, OnHandler):
+                lines.append(
+                    _indent(depth + 1) + f"on {handler.label} as ${handler.var} return {{"
+                )
+            else:
+                labels = ",".join(sorted(handler.past_labels)) if handler.past_labels else ""
+                lines.append(_indent(depth + 1) + f"on-first past({labels}) return {{")
+            _render(handler.body, lines, depth + 2)
+            lines.append(_indent(depth + 1) + "}" + terminator)
+        return
+    raise TypeError(f"cannot render FluX node {expr!r}")  # pragma: no cover

@@ -1,0 +1,190 @@
+"""Rewriting XQuery into the optimizer's normal form.
+
+"First, XQueries are rewritten into a normal form which allows us to use a
+simple set of equivalences as rewrite rules in the subsequent optimization
+steps." (Section 3.1 of the paper.)
+
+The normal form established here:
+
+1. **let-elimination** — ``let $x := e return b`` is replaced by ``b`` with
+   ``$x`` substituted (capture-free; our fragment is side-effect free).  Lets
+   whose value is not a variable or path and that are used as path roots are
+   kept (they fall back to buffered evaluation downstream).
+2. **where-elimination** — ``for $x in p where c return b`` becomes
+   ``for $x in p return if (c) then b else ()`` so that all filtering is
+   expressed through conditionals, which the algebraic rules understand.
+3. **loop-path expansion** — ``for $b in $r/a/b return e`` becomes nested
+   single-step loops ``for $g in $r/a return for $b in $g/b return e``; the
+   scheduler only ever has to reason about loops over a single child label.
+4. **output-path wrapping** — a bare path in output position (``{ $b/title }``)
+   becomes an explicit loop ``for $f in $b/title return $f``, making every
+   piece of output either a constructor, a literal, a variable copy, a
+   conditional or a loop.
+5. **sequence canonicalization** — nested/singleton sequences are flattened.
+
+All rewrites are equivalence-preserving for the supported fragment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.xquery.analysis import fresh_variable, substitute_variable
+from repro.xquery.ast import (
+    AndExpr,
+    ChildStep,
+    Comparison,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    FunctionCall,
+    IfExpr,
+    LetExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SequenceExpr,
+    VarRef,
+    XQueryExpr,
+    sequence_of,
+)
+
+
+def normalize(expr: XQueryExpr) -> XQueryExpr:
+    """Rewrite ``expr`` into normal form (see module docstring)."""
+    expr = _eliminate_lets(expr)
+    expr = _normalize_expr(expr, output_position=True)
+    return expr
+
+
+# ------------------------------------------------------------------- let
+
+
+def _eliminate_lets(expr: XQueryExpr) -> XQueryExpr:
+    if isinstance(expr, LetExpr):
+        value = _eliminate_lets(expr.value)
+        body = _eliminate_lets(expr.body)
+        try:
+            return _eliminate_lets(substitute_variable(body, expr.var, value))
+        except ValueError:
+            # The let value is not a variable/path but is used as a path
+            # root; keep the binding (it will be evaluated from buffers).
+            return LetExpr(expr.var, value, body)
+    if isinstance(expr, ForExpr):
+        where = _eliminate_lets(expr.where) if expr.where is not None else None
+        return ForExpr(
+            expr.var, _eliminate_lets(expr.source), _eliminate_lets(expr.body), where
+        )
+    if isinstance(expr, SequenceExpr):
+        return SequenceExpr(tuple(_eliminate_lets(item) for item in expr.items))
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            _eliminate_lets(expr.condition),
+            _eliminate_lets(expr.then_branch),
+            _eliminate_lets(expr.else_branch),
+        )
+    if isinstance(expr, ElementConstructor):
+        return ElementConstructor(expr.name, expr.attributes, _eliminate_lets(expr.content))
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, _eliminate_lets(expr.left), _eliminate_lets(expr.right))
+    if isinstance(expr, AndExpr):
+        return AndExpr(tuple(_eliminate_lets(operand) for operand in expr.operands))
+    if isinstance(expr, OrExpr):
+        return OrExpr(tuple(_eliminate_lets(operand) for operand in expr.operands))
+    if isinstance(expr, NotExpr):
+        return NotExpr(_eliminate_lets(expr.operand))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name, tuple(_eliminate_lets(argument) for argument in expr.arguments)
+        )
+    return expr
+
+
+# ------------------------------------------------------------- main rewrite
+
+
+def _normalize_expr(expr: XQueryExpr, output_position: bool) -> XQueryExpr:
+    if isinstance(expr, SequenceExpr):
+        return sequence_of(
+            _normalize_expr(item, output_position) for item in expr.items
+        )
+    if isinstance(expr, ElementConstructor):
+        return ElementConstructor(
+            expr.name,
+            expr.attributes,
+            _normalize_expr(expr.content, output_position=True),
+        )
+    if isinstance(expr, ForExpr):
+        return _normalize_for(expr)
+    if isinstance(expr, LetExpr):
+        return LetExpr(
+            expr.var,
+            _normalize_expr(expr.value, output_position=False),
+            _normalize_expr(expr.body, output_position),
+        )
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            _normalize_expr(expr.condition, output_position=False),
+            _normalize_expr(expr.then_branch, output_position),
+            _normalize_expr(expr.else_branch, output_position),
+        )
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op,
+            _normalize_expr(expr.left, output_position=False),
+            _normalize_expr(expr.right, output_position=False),
+        )
+    if isinstance(expr, AndExpr):
+        return AndExpr(
+            tuple(_normalize_expr(operand, False) for operand in expr.operands)
+        )
+    if isinstance(expr, OrExpr):
+        return OrExpr(
+            tuple(_normalize_expr(operand, False) for operand in expr.operands)
+        )
+    if isinstance(expr, NotExpr):
+        return NotExpr(_normalize_expr(expr.operand, False))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            tuple(_normalize_expr(argument, False) for argument in expr.arguments),
+        )
+    if isinstance(expr, PathExpr) and output_position:
+        # Rule 4: output paths become explicit loops.
+        loop_var = fresh_variable("item")
+        return ForExpr(loop_var, expr, VarRef(loop_var), None)
+    return expr
+
+
+def _normalize_for(expr: ForExpr) -> XQueryExpr:
+    source = _normalize_expr(expr.source, output_position=False)
+    body = _normalize_expr(expr.body, output_position=True)
+    where = (
+        _normalize_expr(expr.where, output_position=False)
+        if expr.where is not None
+        else None
+    )
+    # Rule 2: where-elimination.
+    if where is not None:
+        body = IfExpr(where, body, EmptySequence())
+    # Rule 3: loop-path expansion over chains of plain child steps.
+    if isinstance(source, PathExpr) and len(source.steps) > 1:
+        steps = source.steps
+        prefix_is_children = all(
+            isinstance(step, ChildStep) and step.name != "*" for step in steps[:-1]
+        )
+        if prefix_is_children:
+            loop: XQueryExpr = ForExpr(
+                expr.var, PathExpr(fresh_var := fresh_variable("hop"), steps[-1:]), body, None
+            )
+            # Build the nesting inside-out over the remaining prefix steps.
+            for index in range(len(steps) - 2, 0, -1):
+                outer_var = fresh_variable("hop")
+                loop = ForExpr(
+                    fresh_var, PathExpr(outer_var, steps[index : index + 1]), loop, None
+                )
+                fresh_var = outer_var
+            loop = ForExpr(fresh_var, PathExpr(source.var, steps[:1]), loop, None)
+            return loop
+    return ForExpr(expr.var, source, body, None)

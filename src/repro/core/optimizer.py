@@ -1,0 +1,148 @@
+"""End-to-end optimizer pipeline: XQuery text → optimized FluX query.
+
+This module wires together the stages shown in Figure 2 of the paper
+("Query Compiler" box on the optimizer side):
+
+1. parse the XQuery (``repro.xquery.parser``),
+2. transform into normal form (``repro.core.normalform``),
+3. algebraic optimization using DTD constraints (``repro.core.algebra``),
+4. translation into FluX via schema-based scheduling
+   (``repro.core.scheduler``),
+5. safety check of the resulting FluX query (``repro.core.safety``).
+
+The pipeline records the intermediate artefacts so examples, tests and the
+ablation benchmarks can inspect every stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD
+from repro.core.algebra import AlgebraicOptimizer, OptimizationReport
+from repro.core.flux import FluxQuery
+from repro.core.normalform import normalize
+from repro.core.safety import SafetyViolation, assert_safe, check_safety
+from repro.core.scheduler import SchedulingReport, schedule_query
+from repro.xquery.ast import XQueryExpr
+from repro.xquery.parser import parse_xquery
+
+
+@dataclass
+class OptimizedQuery:
+    """The result of running the optimizer pipeline on one XQuery."""
+
+    source: str
+    parsed: XQueryExpr
+    normalized: XQueryExpr
+    optimized: XQueryExpr
+    flux: FluxQuery
+    dtd: Optional[DTD]
+    algebra_report: OptimizationReport
+    scheduling_report: SchedulingReport
+    safety_violations: List[SafetyViolation] = field(default_factory=list)
+    optimize_seconds: float = 0.0
+
+    @property
+    def is_safe(self) -> bool:
+        """Whether the generated FluX query passed the safety check."""
+        return not self.safety_violations
+
+    def describe(self) -> str:
+        """Human-readable multi-stage description (used by examples)."""
+        lines = [
+            "== XQuery (normalized) ==",
+            self.normalized.to_xquery(),
+            "== XQuery (optimized) ==",
+            self.optimized.to_xquery(),
+            f"   [{self.algebra_report.summary()}]",
+            "== FluX ==",
+            self.flux.to_flux_syntax(),
+            f"   [{self.scheduling_report.summary()}]",
+        ]
+        return "\n".join(lines)
+
+
+class OptimizerPipeline:
+    """Configurable optimizer pipeline.
+
+    Parameters
+    ----------
+    dtd:
+        The schema (a :class:`DTD` or DTD source text); ``None`` disables all
+        schema-driven optimizations (the query still runs, with maximal
+        buffering).
+    enable_loop_merging / enable_conditional_elimination / enable_path_relativization:
+        Ablation switches for the algebraic rules (benchmarks T6 and F7).
+    use_order_constraints:
+        Ablation switch for the order-constraint-driven scheduling; when off,
+        only the first sub-expression of each scope can stream and everything
+        else is buffered.
+    strict_safety:
+        When true (default) an unsafe scheduling result raises
+        :class:`~repro.errors.UnsafeFluxQueryError`; the scheduler never
+        produces unsafe queries, so this is an internal assertion.
+    """
+
+    def __init__(
+        self,
+        dtd: Union[DTD, str, None] = None,
+        enable_loop_merging: bool = True,
+        enable_conditional_elimination: bool = True,
+        enable_path_relativization: bool = True,
+        use_order_constraints: bool = True,
+        strict_safety: bool = True,
+    ):
+        if isinstance(dtd, str):
+            dtd = parse_dtd(dtd)
+        self.dtd = dtd
+        self.enable_loop_merging = enable_loop_merging
+        self.enable_conditional_elimination = enable_conditional_elimination
+        self.enable_path_relativization = enable_path_relativization
+        self.use_order_constraints = use_order_constraints
+        self.strict_safety = strict_safety
+
+    def compile(self, query: Union[str, XQueryExpr]) -> OptimizedQuery:
+        """Run the full pipeline on ``query`` (XQuery text or AST)."""
+        started = time.perf_counter()
+        if isinstance(query, str):
+            source = query
+            parsed = parse_xquery(query)
+        else:
+            parsed = query
+            source = query.to_xquery()
+        normalized = normalize(parsed)
+        optimizer = AlgebraicOptimizer(
+            self.dtd,
+            enable_loop_merging=self.enable_loop_merging,
+            enable_conditional_elimination=self.enable_conditional_elimination,
+            enable_path_relativization=self.enable_path_relativization,
+        )
+        optimized = optimizer.optimize(normalized)
+        flux, scheduling_report = schedule_query(
+            optimized, self.dtd, use_order_constraints=self.use_order_constraints
+        )
+        violations = check_safety(flux, self.dtd)
+        if violations and self.strict_safety:
+            assert_safe(flux, self.dtd)
+        elapsed = time.perf_counter() - started
+        return OptimizedQuery(
+            source=source,
+            parsed=parsed,
+            normalized=normalized,
+            optimized=optimized,
+            flux=flux,
+            dtd=self.dtd,
+            algebra_report=optimizer.report,
+            scheduling_report=scheduling_report,
+            safety_violations=violations,
+            optimize_seconds=elapsed,
+        )
+
+
+def compile_xquery(query: Union[str, XQueryExpr], dtd: Union[DTD, str, None] = None, **flags) -> OptimizedQuery:
+    """Convenience one-shot compilation with default pipeline settings."""
+    return OptimizerPipeline(dtd, **flags).compile(query)

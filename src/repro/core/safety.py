@@ -1,0 +1,253 @@
+"""Safety of FluX queries with respect to a DTD.
+
+Section 2 of the paper: "We call a FluX query *safe* for a given DTD if,
+informally, it is guaranteed that XQuery subexpressions (such as the for-loop
+in the query above) do not refer to paths that may still be encountered in
+the stream."
+
+Concretely, for every ``process-stream $x`` over element type ``t`` and every
+``on-first past(X)`` handler whose body reads child label ``l`` of ``$x``,
+the DTD must guarantee that when the ``past(X)`` condition first becomes
+true, no further ``l`` child can arrive.  This is decided exactly on the
+content-model automaton of ``t``:
+
+    in every automaton state where no label of ``X`` is reachable anymore,
+    ``l`` must not be reachable either.
+
+Streaming ``on`` handlers are checked not to read any sibling content of the
+stream variable (they may only use the freshly bound child).
+
+The scheduler only emits safe queries by construction; the checker exists so
+that hand-written FluX (and the deliberately unsafe example from Section 2 of
+the paper) can be diagnosed, and as an internal assertion in the end-to-end
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.dtd.schema import DTD
+from repro.errors import UnsafeFluxQueryError
+from repro.core.flux import (
+    FBufferedExpr,
+    FConstructor,
+    FCopyVar,
+    FIf,
+    FluxExpr,
+    FluxQuery,
+    FProcessStream,
+    FSequence,
+    FText,
+    OnFirstHandler,
+    OnHandler,
+)
+from repro.xquery.analysis import DOCUMENT_TYPE, WHOLE_SUBTREE, child_label_dependencies
+from repro.xquery.ast import XQueryExpr
+
+
+@dataclass(frozen=True)
+class SafetyViolation:
+    """One reason a FluX query is unsafe for the DTD."""
+
+    stream_var: str
+    element_type: str
+    handler: str
+    label: str
+    reason: str
+
+    def __str__(self) -> str:  # pragma: no cover - message formatting
+        return (
+            f"process-stream ${self.stream_var} ({self.element_type}), "
+            f"{self.handler}: {self.reason} (label {self.label!r})"
+        )
+
+
+def check_safety(
+    query: FluxQuery, dtd: Optional[DTD] = None, strict_firing: bool = False
+) -> List[SafetyViolation]:
+    """Return all safety violations of ``query`` w.r.t. ``dtd``.
+
+    An empty list means the query is safe.  When no DTD is available the
+    only checkable property is that streaming handlers do not read sibling
+    content; ``on-first`` handlers are then assumed to fire at element end,
+    which is always safe.
+
+    ``strict_firing`` selects the firing-point convention:
+
+    * ``False`` (default, matching this library's runtime): an ``on-first``
+      handler fires only after the child whose arrival made the condition
+      certain has been *completely* read, so that child is available in the
+      buffers.
+    * ``True`` (the stricter convention of the paper's Section 2 example):
+      the handler fires as soon as the triggering child's start tag is seen,
+      before the child itself is buffered — under this convention the
+      handler body must not read the triggering label.  The paper's modified
+      query reading ``$book/price`` under ``book ((title|author)*, price)``
+      is unsafe exactly in this sense.
+    """
+    dtd = dtd if dtd is not None else query.dtd
+    violations: List[SafetyViolation] = []
+    _check_expr(query.body, dtd, violations, strict_firing)
+    return violations
+
+
+def assert_safe(query: FluxQuery, dtd: Optional[DTD] = None) -> None:
+    """Raise :class:`UnsafeFluxQueryError` if ``query`` is not safe."""
+    violations = check_safety(query, dtd)
+    if violations:
+        details = "; ".join(str(violation) for violation in violations)
+        raise UnsafeFluxQueryError(f"FluX query is unsafe for the DTD: {details}")
+
+
+# ---------------------------------------------------------------- internals
+
+
+def _check_expr(
+    expr: FluxExpr, dtd: Optional[DTD], out: List[SafetyViolation], strict_firing: bool = False
+) -> None:
+    if isinstance(expr, FProcessStream):
+        _check_process_stream(expr, dtd, out, strict_firing)
+        return
+    for child in expr.children():
+        _check_expr(child, dtd, out, strict_firing)
+
+
+def _check_process_stream(
+    node: FProcessStream,
+    dtd: Optional[DTD],
+    out: List[SafetyViolation],
+    strict_firing: bool = False,
+) -> None:
+    for handler in node.handlers:
+        if isinstance(handler, OnHandler):
+            deps = _body_dependencies(handler.body, node.var)
+            for label in sorted(deps):
+                out.append(
+                    SafetyViolation(
+                        stream_var=node.var,
+                        element_type=node.element_type,
+                        handler=f"on {handler.label}",
+                        label=label,
+                        reason=(
+                            "a streaming handler may only use its bound child, "
+                            "but the body reads sibling content of the stream variable"
+                        ),
+                    )
+                )
+        else:
+            _check_on_first(node, handler, dtd, out, strict_firing)
+        _check_expr(handler.body, dtd, out, strict_firing)
+
+
+def _check_on_first(
+    node: FProcessStream,
+    handler: OnFirstHandler,
+    dtd: Optional[DTD],
+    out: List[SafetyViolation],
+    strict_firing: bool = False,
+) -> None:
+    deps = _body_dependencies(handler.body, node.var)
+    if not deps:
+        return
+    condition = handler.past_labels
+    if WHOLE_SUBTREE in condition:
+        # The handler only fires when the element closes; everything is past.
+        return
+    automaton = _automaton_for(node.element_type, dtd)
+    for label in sorted(deps):
+        if label == WHOLE_SUBTREE:
+            needed: FrozenSet[str] = (
+                frozenset(automaton.labels) if automaton is not None else frozenset()
+            )
+        else:
+            needed = frozenset({label})
+        if not needed:
+            continue
+        if not _past_implies_past(automaton, condition, needed, strict_firing):
+            out.append(
+                SafetyViolation(
+                    stream_var=node.var,
+                    element_type=node.element_type,
+                    handler=f"on-first past({','.join(sorted(condition))})",
+                    label=label,
+                    reason=(
+                        "the handler body reads a path that may still be "
+                        "encountered on the stream when the handler fires"
+                    ),
+                )
+            )
+
+
+def _body_dependencies(body: FluxExpr, var: str) -> FrozenSet[str]:
+    """Child labels of ``$var`` read anywhere in a handler body."""
+    labels: set = set()
+    _collect_body_deps(body, var, labels)
+    return frozenset(labels)
+
+
+def _collect_body_deps(body: FluxExpr, var: str, out: set) -> None:
+    if isinstance(body, FBufferedExpr):
+        out.update(child_label_dependencies(body.expr, var))
+        return
+    if isinstance(body, FIf):
+        out.update(child_label_dependencies(body.condition, var))
+    if isinstance(body, FCopyVar) and body.var == var:
+        out.add(WHOLE_SUBTREE)
+        return
+    if isinstance(body, FProcessStream):
+        # A nested stream over a different variable: its buffered expressions
+        # may still reference the outer variable, so keep descending.
+        for handler in body.handlers:
+            _collect_body_deps(handler.body, var, out)
+        return
+    for child in body.children():
+        _collect_body_deps(child, var, out)
+
+
+def _automaton_for(element_type: str, dtd: Optional[DTD]):
+    if dtd is None:
+        return None
+    if element_type == DOCUMENT_TYPE:
+        return None
+    if not dtd.has_element(element_type):
+        return None
+    return dtd.automaton(element_type)
+
+
+def _past_implies_past(
+    automaton, condition: FrozenSet[str], needed: FrozenSet[str], strict_firing: bool = False
+) -> bool:
+    """Whether ``past(condition)`` implies ``past(needed)`` in every state.
+
+    With no automaton (no DTD, the document pseudo-type, or an undeclared
+    element) the runtime can only fire the handler when the element closes,
+    at which point everything is past — that is always safe.
+    """
+    if automaton is None:
+        return True
+    if automaton.allows_any:
+        return False
+    if not strict_firing and needed <= condition:
+        return True
+    for state in range(automaton.state_count):
+        reachable = automaton.reachable_labels(state)
+        condition_past = not (reachable & condition)
+        needed_still_possible = bool(reachable & needed)
+        if condition_past and needed_still_possible:
+            return False
+    if strict_firing:
+        # Under strict firing the handler runs before the triggering child is
+        # read: for every transition that makes the condition become true,
+        # the needed labels must already be past *before* that transition.
+        for state in range(automaton.state_count):
+            reachable_before = automaton.reachable_labels(state)
+            if not (reachable_before & condition):
+                continue  # condition already held before this state's edges
+            for label, successor in automaton.transitions_from(state).items():
+                reachable_after = automaton.reachable_labels(successor)
+                becomes_true = not (reachable_after & condition)
+                if becomes_true and (reachable_before & needed):
+                    return False
+    return True

@@ -1,0 +1,54 @@
+"""DTD substrate.
+
+Parsing of document type definitions, content-model automata, streaming
+validation, and — most importantly for the paper — extraction of the schema
+constraints that drive the FluX optimizer:
+
+* cardinality constraints (``a ∈ ||≤1 r``),
+* order constraints (all ``a`` children precede all ``b`` children),
+* co-occurrence (language) constraints (``a`` and ``b`` never appear among
+  the same element's children),
+* "past" reachability tables used by the XSAX parser to fire
+  ``on-first past(X)`` events.
+"""
+
+from repro.dtd.model import (
+    ANY,
+    EMPTY,
+    PCDATA,
+    Choice,
+    ContentParticle,
+    ElementDecl,
+    Name,
+    OneOrMore,
+    Optional_,
+    Sequence,
+    ZeroOrMore,
+)
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD
+from repro.dtd.automaton import ContentModelAutomaton, build_automaton
+from repro.dtd.constraints import SchemaConstraints
+from repro.dtd.validator import StreamingValidator, validate_events, validate_tree
+
+__all__ = [
+    "DTD",
+    "ElementDecl",
+    "ContentParticle",
+    "Name",
+    "Sequence",
+    "Choice",
+    "ZeroOrMore",
+    "OneOrMore",
+    "Optional_",
+    "PCDATA",
+    "EMPTY",
+    "ANY",
+    "parse_dtd",
+    "ContentModelAutomaton",
+    "build_automaton",
+    "SchemaConstraints",
+    "StreamingValidator",
+    "validate_events",
+    "validate_tree",
+]

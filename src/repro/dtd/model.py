@@ -1,0 +1,310 @@
+"""Content-model AST for DTD element declarations.
+
+A DTD element declaration ``<!ELEMENT book (title,(author+|editor+),price)>``
+is represented as an :class:`ElementDecl` whose content model is a tree of
+:class:`ContentParticle` nodes.  The particle algebra is the standard one:
+
+* :class:`Name` — a child element name,
+* :class:`Sequence` — ``(a, b, c)``,
+* :class:`Choice` — ``(a | b | c)``,
+* :class:`ZeroOrMore`, :class:`OneOrMore`, :class:`Optional_` — ``*``, ``+``,
+  ``?`` postfix operators,
+* the special models :data:`PCDATA` (text-only / mixed), :data:`EMPTY`, and
+  :data:`ANY`.
+
+Mixed content ``(#PCDATA | a | b)*`` is modelled as
+``ZeroOrMore(Choice(PCDATA, a, b))``; the automaton construction ignores the
+PCDATA alternative (text is always allowed in mixed models, never allowed in
+element-only models).
+
+The module also provides the structural analyses the optimizer needs directly
+on the AST: the set of labels a model mentions, per-label minimum and maximum
+occurrence counts, and nullability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Sequence as Seq, Tuple
+
+#: Symbolic infinity for occurrence counts (``a*`` allows unboundedly many a).
+INFINITY = float("inf")
+
+
+class ContentParticle:
+    """Base class for content-model nodes."""
+
+    __slots__ = ()
+
+    def labels(self) -> FrozenSet[str]:
+        """All child element names mentioned anywhere in this particle."""
+        raise NotImplementedError
+
+    def nullable(self) -> bool:
+        """Whether the empty word is accepted by this particle."""
+        raise NotImplementedError
+
+    def max_count(self, label: str) -> float:
+        """Maximum number of ``label`` occurrences over all accepted words."""
+        raise NotImplementedError
+
+    def min_count(self, label: str) -> float:
+        """Minimum number of ``label`` occurrences over all accepted words."""
+        raise NotImplementedError
+
+    def to_dtd_syntax(self) -> str:
+        """Render this particle in DTD syntax."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_dtd_syntax()
+
+
+@dataclass(frozen=True, repr=False)
+class Name(ContentParticle):
+    """A single child element name."""
+
+    name: str
+
+    __slots__ = ("name",)
+
+    def labels(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def nullable(self) -> bool:
+        return False
+
+    def max_count(self, label: str) -> float:
+        return 1 if label == self.name else 0
+
+    def min_count(self, label: str) -> float:
+        return 1 if label == self.name else 0
+
+    def to_dtd_syntax(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class _Special(ContentParticle):
+    """EMPTY / ANY / #PCDATA leaves."""
+
+    kind: str
+
+    __slots__ = ("kind",)
+
+    def labels(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def nullable(self) -> bool:
+        return True
+
+    def max_count(self, label: str) -> float:
+        # ANY allows anything; constraints derived from ANY must be vacuous.
+        return INFINITY if self.kind == "ANY" else 0
+
+    def min_count(self, label: str) -> float:
+        return 0
+
+    def to_dtd_syntax(self) -> str:
+        return "#PCDATA" if self.kind == "PCDATA" else self.kind
+
+
+#: Text-only content (``(#PCDATA)``).
+PCDATA = _Special("PCDATA")
+#: Empty content (``EMPTY``).
+EMPTY = _Special("EMPTY")
+#: Unconstrained content (``ANY``).
+ANY = _Special("ANY")
+
+
+@dataclass(frozen=True, repr=False)
+class Sequence(ContentParticle):
+    """Concatenation ``(p1, p2, ..., pn)``."""
+
+    parts: Tuple[ContentParticle, ...]
+
+    __slots__ = ("parts",)
+
+    def labels(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.labels()
+        return result
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def max_count(self, label: str) -> float:
+        return sum(part.max_count(label) for part in self.parts)
+
+    def min_count(self, label: str) -> float:
+        return sum(part.min_count(label) for part in self.parts)
+
+    def to_dtd_syntax(self) -> str:
+        return "(" + ",".join(part.to_dtd_syntax() for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Choice(ContentParticle):
+    """Alternation ``(p1 | p2 | ... | pn)``."""
+
+    parts: Tuple[ContentParticle, ...]
+
+    __slots__ = ("parts",)
+
+    def labels(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for part in self.parts:
+            result |= part.labels()
+        return result
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def max_count(self, label: str) -> float:
+        return max(part.max_count(label) for part in self.parts)
+
+    def min_count(self, label: str) -> float:
+        return min(part.min_count(label) for part in self.parts)
+
+    def to_dtd_syntax(self) -> str:
+        return "(" + "|".join(part.to_dtd_syntax() for part in self.parts) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class ZeroOrMore(ContentParticle):
+    """Kleene star ``p*``."""
+
+    part: ContentParticle
+
+    __slots__ = ("part",)
+
+    def labels(self) -> FrozenSet[str]:
+        return self.part.labels()
+
+    def nullable(self) -> bool:
+        return True
+
+    def max_count(self, label: str) -> float:
+        return INFINITY if self.part.max_count(label) > 0 else 0
+
+    def min_count(self, label: str) -> float:
+        return 0
+
+    def to_dtd_syntax(self) -> str:
+        return self.part.to_dtd_syntax() + "*"
+
+
+@dataclass(frozen=True, repr=False)
+class OneOrMore(ContentParticle):
+    """``p+``."""
+
+    part: ContentParticle
+
+    __slots__ = ("part",)
+
+    def labels(self) -> FrozenSet[str]:
+        return self.part.labels()
+
+    def nullable(self) -> bool:
+        return self.part.nullable()
+
+    def max_count(self, label: str) -> float:
+        return INFINITY if self.part.max_count(label) > 0 else 0
+
+    def min_count(self, label: str) -> float:
+        return self.part.min_count(label)
+
+    def to_dtd_syntax(self) -> str:
+        return self.part.to_dtd_syntax() + "+"
+
+
+@dataclass(frozen=True, repr=False)
+class Optional_(ContentParticle):
+    """``p?``."""
+
+    part: ContentParticle
+
+    __slots__ = ("part",)
+
+    def labels(self) -> FrozenSet[str]:
+        return self.part.labels()
+
+    def nullable(self) -> bool:
+        return True
+
+    def max_count(self, label: str) -> float:
+        return self.part.max_count(label)
+
+    def min_count(self, label: str) -> float:
+        return 0
+
+    def to_dtd_syntax(self) -> str:
+        return self.part.to_dtd_syntax() + "?"
+
+
+def sequence(*parts: ContentParticle) -> ContentParticle:
+    """Build a :class:`Sequence`, collapsing the single-element case."""
+    if len(parts) == 1:
+        return parts[0]
+    return Sequence(tuple(parts))
+
+
+def choice(*parts: ContentParticle) -> ContentParticle:
+    """Build a :class:`Choice`, collapsing the single-element case."""
+    if len(parts) == 1:
+        return parts[0]
+    return Choice(tuple(parts))
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """A single attribute declaration from an ``<!ATTLIST>``."""
+
+    element: str
+    name: str
+    attr_type: str = "CDATA"
+    default: str = "#IMPLIED"
+
+
+@dataclass(frozen=True, repr=False)
+class ElementDecl:
+    """``<!ELEMENT name content-model>``.
+
+    ``mixed`` is true for ``(#PCDATA ...)`` models, where character data may
+    appear between child elements; for element-only models text children are
+    invalid.  ``content`` is the particle over child *element* names only
+    (PCDATA removed), or :data:`PCDATA` / :data:`EMPTY` / :data:`ANY`.
+    """
+
+    name: str
+    content: ContentParticle
+    mixed: bool = False
+
+    def child_labels(self) -> FrozenSet[str]:
+        """Element names that may occur as children."""
+        return self.content.labels()
+
+    def allows_text(self) -> bool:
+        """Whether character data is allowed directly under this element."""
+        return self.mixed or self.content in (PCDATA, ANY)
+
+    def to_dtd_syntax(self) -> str:
+        if self.content is EMPTY:
+            body = "EMPTY"
+        elif self.content is ANY:
+            body = "ANY"
+        elif self.content is PCDATA and not self.mixed:
+            body = "(#PCDATA)"
+        elif self.mixed:
+            names = sorted(self.content.labels())
+            inner = "|".join(["#PCDATA"] + names)
+            body = f"({inner})*"
+        else:
+            body = self.content.to_dtd_syntax()
+            if not body.startswith("("):
+                body = f"({body})"
+        return f"<!ELEMENT {self.name} {body}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.to_dtd_syntax()

@@ -1,0 +1,235 @@
+"""Parser for DTD element declarations.
+
+Parses the subset of DTD syntax the paper relies on:
+
+* ``<!ELEMENT name (content-model)>`` with sequences, choices, ``*``/``+``/``?``,
+  ``EMPTY``, ``ANY``, ``(#PCDATA)`` and mixed content ``(#PCDATA | a | b)*``;
+* ``<!ATTLIST ...>`` declarations (recorded, not enforced);
+* ``<!ENTITY ...>``, comments and processing instructions (skipped).
+
+The entry point is :func:`parse_dtd`, which accepts either a full DTD text
+(e.g. the internal subset captured from a DOCTYPE) or a sequence of
+declarations and returns a :class:`~repro.dtd.schema.DTD`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.model import (
+    ANY,
+    EMPTY,
+    PCDATA,
+    AttributeDecl,
+    Choice,
+    ContentParticle,
+    ElementDecl,
+    Name,
+    OneOrMore,
+    Optional_,
+    Sequence,
+    ZeroOrMore,
+)
+from repro.dtd.schema import DTD
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_PI_RE = re.compile(r"<\?.*?\?>", re.DOTALL)
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([^\s>]+)\s+(.*?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+([^\s>]+)\s+(.*?)>", re.DOTALL)
+_NAME_RE = re.compile(r"[A-Za-z_:][\w:.\-]*")
+
+
+class _ContentModelParser:
+    """Recursive-descent parser for a single content model expression."""
+
+    def __init__(self, text: str, element: str):
+        self._text = text
+        self._pos = 0
+        self._element = element
+
+    def parse(self) -> Tuple[ContentParticle, bool]:
+        """Return ``(particle, mixed)`` for the content model text."""
+        self._skip_ws()
+        text = self._text.strip()
+        if text == "EMPTY":
+            return EMPTY, False
+        if text == "ANY":
+            return ANY, False
+        particle = self._parse_particle()
+        self._skip_ws()
+        if self._pos != len(self._text):
+            raise DTDSyntaxError(
+                f"trailing characters in content model of {self._element!r}: "
+                f"{self._text[self._pos:]!r}"
+            )
+        mixed = self._detect_mixed(particle)
+        if mixed is not None:
+            return mixed, True
+        if _mentions_pcdata(particle):
+            if isinstance(particle, Name) and particle.name == "#PCDATA":
+                return PCDATA, False
+            raise DTDSyntaxError(
+                f"#PCDATA may only appear in (#PCDATA) or (#PCDATA|...)* models "
+                f"(element {self._element!r})"
+            )
+        return particle, False
+
+    # The grammar:  particle := group [*+?] | name [*+?]
+    #               group    := '(' particle ((',' particle)* | ('|' particle)*) ')'
+
+    def _parse_particle(self) -> ContentParticle:
+        self._skip_ws()
+        if self._peek() == "(":
+            particle = self._parse_group()
+        else:
+            particle = self._parse_name()
+        return self._parse_suffix(particle)
+
+    def _parse_group(self) -> ContentParticle:
+        assert self._peek() == "("
+        self._pos += 1
+        parts: List[ContentParticle] = [self._parse_particle()]
+        self._skip_ws()
+        separator: Optional[str] = None
+        while self._peek() in ",|":
+            sep = self._peek()
+            if separator is None:
+                separator = sep
+            elif sep != separator:
+                raise DTDSyntaxError(
+                    f"cannot mix ',' and '|' at the same level in the content model "
+                    f"of {self._element!r}"
+                )
+            self._pos += 1
+            parts.append(self._parse_particle())
+            self._skip_ws()
+        if self._peek() != ")":
+            raise DTDSyntaxError(
+                f"expected ')' in content model of {self._element!r}, "
+                f"found {self._peek()!r}"
+            )
+        self._pos += 1
+        if len(parts) == 1:
+            return parts[0]
+        if separator == "|":
+            return Choice(tuple(parts))
+        return Sequence(tuple(parts))
+
+    def _parse_name(self) -> ContentParticle:
+        self._skip_ws()
+        if self._text.startswith("#PCDATA", self._pos):
+            self._pos += len("#PCDATA")
+            return Name("#PCDATA")
+        match = _NAME_RE.match(self._text, self._pos)
+        if not match:
+            raise DTDSyntaxError(
+                f"expected a name in content model of {self._element!r} at "
+                f"{self._text[self._pos:self._pos + 20]!r}"
+            )
+        self._pos = match.end()
+        return Name(match.group(0))
+
+    def _parse_suffix(self, particle: ContentParticle) -> ContentParticle:
+        self._skip_ws()
+        ch = self._peek()
+        if ch == "*":
+            self._pos += 1
+            return ZeroOrMore(particle)
+        if ch == "+":
+            self._pos += 1
+            return OneOrMore(particle)
+        if ch == "?":
+            self._pos += 1
+            return Optional_(particle)
+        return particle
+
+    def _detect_mixed(self, particle: ContentParticle) -> Optional[ContentParticle]:
+        """Recognize ``(#PCDATA | a | ...)*`` and plain ``(#PCDATA)``.
+
+        Returns the element-only particle (PCDATA removed) for mixed models,
+        or ``None`` when the model is not mixed.
+        """
+        if isinstance(particle, ZeroOrMore) and isinstance(particle.part, Choice):
+            names = [part for part in particle.part.parts if isinstance(part, Name)]
+            if len(names) == len(particle.part.parts) and any(
+                name.name == "#PCDATA" for name in names
+            ):
+                if names[0].name != "#PCDATA":
+                    raise DTDSyntaxError(
+                        f"#PCDATA must be the first alternative in the mixed content "
+                        f"model of {self._element!r}"
+                    )
+                element_names = tuple(name for name in names if name.name != "#PCDATA")
+                if not element_names:
+                    return PCDATA
+                if len(element_names) == 1:
+                    return ZeroOrMore(element_names[0])
+                return ZeroOrMore(Choice(element_names))
+        return None
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        if self._pos < len(self._text):
+            return self._text[self._pos]
+        return ""
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+
+def _mentions_pcdata(particle: ContentParticle) -> bool:
+    if isinstance(particle, Name):
+        return particle.name == "#PCDATA"
+    if isinstance(particle, (Sequence, Choice)):
+        return any(_mentions_pcdata(part) for part in particle.parts)
+    if isinstance(particle, (ZeroOrMore, OneOrMore, Optional_)):
+        return _mentions_pcdata(particle.part)
+    return False
+
+
+def parse_element_decl(name: str, model_text: str) -> ElementDecl:
+    """Parse a single element declaration body into an :class:`ElementDecl`."""
+    content, mixed = _ContentModelParser(model_text, name).parse()
+    return ElementDecl(name=name, content=content, mixed=mixed)
+
+
+def _parse_attlist(element: str, body: str) -> List[AttributeDecl]:
+    """Parse an ATTLIST body into attribute declarations (best effort)."""
+    tokens = body.split()
+    decls: List[AttributeDecl] = []
+    i = 0
+    while i + 1 < len(tokens):
+        attr_name = tokens[i]
+        attr_type = tokens[i + 1]
+        default = tokens[i + 2] if i + 2 < len(tokens) else "#IMPLIED"
+        decls.append(AttributeDecl(element=element, name=attr_name, attr_type=attr_type, default=default))
+        # Skip a quoted default value following #FIXED.
+        step = 3
+        if default == "#FIXED" and i + 3 < len(tokens):
+            step = 4
+        i += step
+    return decls
+
+
+def parse_dtd(text: str, root: Optional[str] = None) -> DTD:
+    """Parse DTD text into a :class:`~repro.dtd.schema.DTD`.
+
+    ``text`` is typically the internal subset of a DOCTYPE declaration or the
+    contents of a ``.dtd`` file.  ``root`` optionally fixes the document root
+    element; otherwise it is inferred (see :class:`DTD`).
+    """
+    cleaned = _COMMENT_RE.sub(" ", text)
+    cleaned = _PI_RE.sub(" ", cleaned)
+    elements: List[ElementDecl] = []
+    for match in _ELEMENT_RE.finditer(cleaned):
+        name, model_text = match.group(1), match.group(2).strip()
+        elements.append(parse_element_decl(name, model_text))
+    attributes: List[AttributeDecl] = []
+    for match in _ATTLIST_RE.finditer(cleaned):
+        attributes.extend(_parse_attlist(match.group(1), match.group(2)))
+    if not elements:
+        raise DTDSyntaxError("no <!ELEMENT ...> declarations found in DTD text")
+    return DTD(elements, root=root, attributes=attributes)

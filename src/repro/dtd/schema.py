@@ -1,0 +1,138 @@
+"""The :class:`DTD` schema object.
+
+A :class:`DTD` bundles the element declarations of a document type, gives
+access to per-element content-model automata (built lazily and cached), and
+is the single argument the optimizer, the safety checker, and the XSAX parser
+take to obtain schema information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.model import ANY, EMPTY, PCDATA, AttributeDecl, ElementDecl
+
+
+class DTD:
+    """A parsed document type definition.
+
+    Parameters
+    ----------
+    elements:
+        The element declarations, in declaration order.
+    root:
+        Name of the document root element.  When omitted, the root is
+        inferred as the unique element that never occurs as a child of
+        another declared element (falling back to the first declaration).
+    attributes:
+        Optional attribute declarations (kept for completeness; attributes do
+        not participate in the constraint machinery).
+    """
+
+    def __init__(
+        self,
+        elements: Iterable[ElementDecl],
+        root: Optional[str] = None,
+        attributes: Optional[Iterable[AttributeDecl]] = None,
+    ):
+        self._elements: Dict[str, ElementDecl] = {}
+        for decl in elements:
+            if decl.name in self._elements:
+                raise DTDSyntaxError(f"duplicate declaration for element {decl.name!r}")
+            self._elements[decl.name] = decl
+        if not self._elements:
+            raise DTDSyntaxError("a DTD must declare at least one element")
+        self.attributes: List[AttributeDecl] = list(attributes or [])
+        self.root = root if root is not None else self._infer_root()
+        if self.root not in self._elements:
+            raise DTDSyntaxError(f"root element {self.root!r} is not declared")
+        self._automata: Dict[str, "ContentModelAutomaton"] = {}
+        self._constraints: Optional["SchemaConstraints"] = None
+
+    # ------------------------------------------------------------ accessors
+
+    def element(self, name: str) -> ElementDecl:
+        """Declaration of ``name``; raises :class:`DTDSyntaxError` if unknown."""
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise DTDSyntaxError(f"element {name!r} is not declared in the DTD") from None
+
+    def has_element(self, name: str) -> bool:
+        """Whether ``name`` is declared."""
+        return name in self._elements
+
+    @property
+    def element_names(self) -> List[str]:
+        """Declared element names, in declaration order."""
+        return list(self._elements)
+
+    def declarations(self) -> List[ElementDecl]:
+        """All element declarations, in declaration order."""
+        return list(self._elements.values())
+
+    def child_labels(self, name: str) -> FrozenSet[str]:
+        """Element names that may occur as children of ``name``."""
+        return self.element(name).child_labels()
+
+    # ------------------------------------------------------------ analyses
+
+    def _infer_root(self) -> str:
+        children: Set[str] = set()
+        for decl in self._elements.values():
+            children |= decl.child_labels()
+        candidates = [name for name in self._elements if name not in children]
+        if len(candidates) == 1:
+            return candidates[0]
+        return next(iter(self._elements))
+
+    def automaton(self, name: str) -> "ContentModelAutomaton":
+        """The (cached) content-model automaton for element ``name``."""
+        if name not in self._automata:
+            from repro.dtd.automaton import build_automaton
+
+            self._automata[name] = build_automaton(self.element(name))
+        return self._automata[name]
+
+    def constraints(self) -> "SchemaConstraints":
+        """The (cached) schema constraints derived from this DTD."""
+        if self._constraints is None:
+            from repro.dtd.constraints import SchemaConstraints
+
+            self._constraints = SchemaConstraints(self)
+        return self._constraints
+
+    def reachable_elements(self) -> Set[str]:
+        """Element names reachable from the root (declared and referenced)."""
+        seen: Set[str] = set()
+        frontier = [self.root]
+        while frontier:
+            name = frontier.pop()
+            if name in seen or name not in self._elements:
+                continue
+            seen.add(name)
+            frontier.extend(self._elements[name].child_labels())
+        return seen
+
+    def undeclared_children(self) -> Set[str]:
+        """Child labels referenced in content models but never declared.
+
+        Documents using such children cannot be validated below that label;
+        the validator treats them as having ``ANY`` content.
+        """
+        missing: Set[str] = set()
+        for decl in self._elements.values():
+            for label in decl.child_labels():
+                if label not in self._elements:
+                    missing.add(label)
+        return missing
+
+    # -------------------------------------------------------------- output
+
+    def to_dtd_syntax(self) -> str:
+        """Render the DTD as ``<!ELEMENT ...>`` declarations."""
+        return "\n".join(decl.to_dtd_syntax() for decl in self._elements.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DTD(root={self.root!r}, elements={len(self._elements)})"

@@ -1,0 +1,179 @@
+"""Streaming DTD validation.
+
+The validator consumes the event vocabulary of :mod:`repro.xmlstream.events`
+and checks conformance against a :class:`~repro.dtd.schema.DTD` using the
+content-model automata, maintaining one automaton state per open element —
+exactly the bookkeeping the paper's XSAX parser performs (XSAX itself, in
+:mod:`repro.runtime.xsax`, reuses this class and adds on-first events).
+
+Elements that appear in content models but carry no declaration of their own
+are treated as having ``ANY`` content, matching common lenient-validation
+practice; strict mode turns this into an error.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import XMLValidationError
+from repro.dtd.schema import DTD
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.tree import XMLElement, tree_to_events
+
+
+class _OpenElement:
+    """Validation state for one open element."""
+
+    __slots__ = ("name", "state", "declared", "allows_text")
+
+    def __init__(self, name: str, state: Optional[int], declared: bool, allows_text: bool):
+        self.name = name
+        self.state = state
+        self.declared = declared
+        self.allows_text = allows_text
+
+
+class StreamingValidator:
+    """Validates an event stream against a DTD, one event at a time.
+
+    The validator is push-based: call :meth:`feed` for every event.  It can
+    also be used as a filter (:meth:`validate`) that re-yields events after
+    checking them, which is how the engines integrate validation without a
+    second pass.
+
+    Parameters
+    ----------
+    dtd:
+        The schema to validate against.
+    strict:
+        When true, elements without a declaration and text inside
+        element-only content raise errors; when false (default) undeclared
+        elements are treated as ``ANY`` and whitespace-only text is ignored.
+    """
+
+    def __init__(self, dtd: DTD, strict: bool = False):
+        self.dtd = dtd
+        self.strict = strict
+        self._stack: List[_OpenElement] = []
+        self._saw_root = False
+        self.elements_validated = 0
+
+    # ----------------------------------------------------------- interface
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open elements."""
+        return len(self._stack)
+
+    def current_state(self) -> Optional[Tuple[str, Optional[int]]]:
+        """``(element name, automaton state)`` of the innermost open element."""
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return top.name, top.state
+
+    def feed(self, event: Event) -> None:
+        """Validate a single event, raising :class:`XMLValidationError` on
+        violations."""
+        if isinstance(event, StartDocument):
+            return
+        if isinstance(event, EndDocument):
+            if self._stack:
+                raise XMLValidationError("document ended with unclosed elements")
+            return
+        if isinstance(event, StartElement):
+            self._feed_start(event)
+        elif isinstance(event, EndElement):
+            self._feed_end(event)
+        elif isinstance(event, Text):
+            self._feed_text(event)
+
+    def validate(self, events: Iterable[Event]) -> Iterator[Event]:
+        """Yield ``events`` unchanged while validating them."""
+        for event in events:
+            self.feed(event)
+            yield event
+
+    # ------------------------------------------------------------ handlers
+
+    def _feed_start(self, event: StartElement) -> None:
+        name = event.name
+        if not self._stack:
+            if self._saw_root:
+                raise XMLValidationError("multiple root elements")
+            self._saw_root = True
+            if name != self.dtd.root:
+                raise XMLValidationError(
+                    f"root element is <{name}>, expected <{self.dtd.root}>"
+                )
+        else:
+            parent = self._stack[-1]
+            if parent.declared and parent.state is not None:
+                automaton = self.dtd.automaton(parent.name)
+                next_state = automaton.step(parent.state, name)
+                if next_state is None:
+                    raise XMLValidationError(
+                        f"element <{name}> is not allowed here inside <{parent.name}> "
+                        f"(content model: "
+                        f"{self.dtd.element(parent.name).content.to_dtd_syntax()})"
+                    )
+                parent.state = next_state
+            elif self.strict and parent.declared:
+                raise XMLValidationError(
+                    f"element <{parent.name}> does not allow child elements"
+                )
+        declared = self.dtd.has_element(name)
+        if not declared and self.strict:
+            raise XMLValidationError(f"element <{name}> is not declared in the DTD")
+        allows_text = self.dtd.element(name).allows_text() if declared else True
+        state = self.dtd.automaton(name).start_state if declared else None
+        self._stack.append(_OpenElement(name, state, declared, allows_text))
+        self.elements_validated += 1
+
+    def _feed_end(self, event: EndElement) -> None:
+        if not self._stack:
+            raise XMLValidationError(f"unexpected closing tag </{event.name}>")
+        top = self._stack.pop()
+        if top.name != event.name:
+            raise XMLValidationError(
+                f"closing tag </{event.name}> does not match open element <{top.name}>"
+            )
+        if top.declared and top.state is not None:
+            automaton = self.dtd.automaton(top.name)
+            if not automaton.is_accepting(top.state):
+                raise XMLValidationError(
+                    f"element <{top.name}> closed with incomplete content "
+                    f"(content model: {self.dtd.element(top.name).content.to_dtd_syntax()})"
+                )
+
+    def _feed_text(self, event: Text) -> None:
+        if not self._stack:
+            if event.text.strip():
+                raise XMLValidationError("character data outside the root element")
+            return
+        top = self._stack[-1]
+        if not top.allows_text and event.text.strip():
+            if self.strict:
+                raise XMLValidationError(
+                    f"element <{top.name}> has element-only content but contains text"
+                )
+
+
+def validate_events(events: Iterable[Event], dtd: DTD, strict: bool = False) -> int:
+    """Validate a full event stream; returns the number of elements seen."""
+    validator = StreamingValidator(dtd, strict=strict)
+    for event in events:
+        validator.feed(event)
+    return validator.elements_validated
+
+
+def validate_tree(root: XMLElement, dtd: DTD, strict: bool = False) -> int:
+    """Validate a materialized tree; returns the number of elements seen."""
+    return validate_events(tree_to_events(root, document=True), dtd, strict=strict)

@@ -1,0 +1,32 @@
+"""Query engines.
+
+Three engines share the :class:`~repro.engines.base.Engine` interface so the
+benchmark harness can compare them on identical workloads:
+
+* :class:`~repro.engines.flux_engine.FluxEngine` — the paper's system: the
+  optimizer pipeline (normal form, algebraic optimization, scheduling into
+  FluX) followed by the streamed runtime with BDF-driven buffering;
+* :class:`~repro.engines.dom_engine.DomEngine` — the "contemporary XQuery
+  engine" baseline: materialize the whole document, then evaluate;
+* :class:`~repro.engines.projection_engine.ProjectionEngine` — the
+  Marian & Siméon [10] style baseline: statically project the document down
+  to the paths the query uses, materialize only those, then evaluate.
+
+Every engine reports the same :class:`~repro.runtime.stats.RuntimeStats`, in
+particular ``peak_buffer_bytes``, which is the memory number the paper's
+evaluation is about.
+"""
+
+from repro.engines.base import Engine, QueryResult
+from repro.engines.flux_engine import FluxEngine
+from repro.engines.dom_engine import DomEngine
+from repro.engines.projection_engine import ProjectionEngine, projection_paths
+
+__all__ = [
+    "Engine",
+    "QueryResult",
+    "FluxEngine",
+    "DomEngine",
+    "ProjectionEngine",
+    "projection_paths",
+]

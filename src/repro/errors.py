@@ -1,0 +1,85 @@
+"""Exception hierarchy for the FluXQuery reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish parsing, schema, query, and runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class XMLSyntaxError(ReproError):
+    """Raised when the streaming XML parser encounters malformed input.
+
+    Carries the character ``offset`` into the input at which the problem was
+    detected, when known.
+    """
+
+    def __init__(self, message: str, offset: int = -1):
+        if offset >= 0:
+            message = f"{message} (at offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+
+
+class XMLValidationError(ReproError):
+    """Raised when a document does not conform to the registered DTD."""
+
+
+class DTDSyntaxError(ReproError):
+    """Raised when a DTD declaration cannot be parsed."""
+
+
+class XQuerySyntaxError(ReproError):
+    """Raised when an XQuery string cannot be parsed.
+
+    Carries the token ``position`` (character offset) when known.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised for XQuery constructs outside the supported fragment."""
+
+
+class QueryAnalysisError(ReproError):
+    """Raised when static analysis of a query fails.
+
+    Examples: references to unbound variables, paths rooted at unknown
+    variables, or element names that do not occur in the DTD when the
+    optimizer requires schema information.
+    """
+
+
+class UnsafeFluxQueryError(ReproError):
+    """Raised when a FluX query is not safe for the given DTD.
+
+    Safety is defined in Section 2 of the paper: a buffered sub-expression
+    must not reference paths that may still arrive on the stream after its
+    ``on-first`` handler has fired.
+    """
+
+
+class PlanError(ReproError):
+    """Raised when a FluX query cannot be compiled into a physical plan."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation fails at runtime."""
+
+
+class BufferError_(ReproError):
+    """Raised on invalid buffer-manager usage (e.g. reading a closed scope)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is given invalid parameters."""

@@ -1,0 +1,41 @@
+"""Runtime engine: buffers, XSAX, physical plans, and streamed evaluation.
+
+This package implements the right half of Figure 2 of the paper:
+
+* the **query compiler** (:mod:`repro.runtime.compiler`) turns an optimized
+  FluX query into a physical query plan, first computing the *buffer
+  description forest* (:mod:`repro.runtime.bdf`) that defines which paths of
+  the input document need to be buffered;
+* the **buffer manager** (:mod:`repro.runtime.buffers`) holds those buffers
+  and accounts every byte, which is what the memory benchmarks report;
+* **XSAX** (:mod:`repro.runtime.xsax`) is the validating SAX parser extended
+  with ``on-first`` events, produced from a finite automaton built from the
+  DTD;
+* the **streamed query evaluator** (:mod:`repro.runtime.evaluator`) executes
+  the physical plan over the XSAX event stream and emits the result as an
+  output XML stream.
+"""
+
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.buffers import BufferManager, StreamScopeNode
+from repro.runtime.bdf import BufferDescriptionForest, BufferSpec, build_bdf
+from repro.runtime.xsax import ConditionRegistry, OnFirstEvent, XSAXReader
+from repro.runtime.plan import PhysicalPlan
+from repro.runtime.compiler import QueryCompiler, compile_flux
+from repro.runtime.evaluator import StreamedEvaluator
+
+__all__ = [
+    "RuntimeStats",
+    "BufferManager",
+    "StreamScopeNode",
+    "BufferDescriptionForest",
+    "BufferSpec",
+    "build_bdf",
+    "ConditionRegistry",
+    "OnFirstEvent",
+    "XSAXReader",
+    "PhysicalPlan",
+    "QueryCompiler",
+    "compile_flux",
+    "StreamedEvaluator",
+]

@@ -1,0 +1,182 @@
+"""The buffer description forest (BDF).
+
+"The query compiler ... first computes the buffer description forest data
+structure, BDF for short, which defines those paths of the input document
+which need to be buffered."  (Section 3.2 of the paper.)
+
+Our BDF maps every ``process-stream`` variable of a FluX query to the set of
+child labels of that variable that buffered sub-expressions read:
+
+* an ``on-first`` handler body ``for $a in $book/author return ...``
+  contributes ``author`` to the entry for ``$book``;
+* a whole-subtree dependency (the handler copies ``$book`` itself, or uses a
+  descendant/``text()`` step) sets the ``whole_subtree`` flag — the runtime
+  then materializes the entire element;
+* labels consumed purely by streaming ``on`` handlers contribute nothing,
+  which is exactly the saving over projection-style engines (compare
+  Marian & Siméon [10]): data that can be processed on the fly is never
+  buffered.
+
+The BDF is both a runtime artifact (the compiler attaches each entry to its
+``process-stream`` operator) and an analysis result that tests and the
+memory model in the benchmarks inspect directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
+
+from repro.core.flux import (
+    FBufferedExpr,
+    FIf,
+    FluxExpr,
+    FluxQuery,
+    FProcessStream,
+    OnFirstHandler,
+    OnHandler,
+)
+from repro.xquery.analysis import WHOLE_SUBTREE, child_label_dependencies
+
+
+@dataclass
+class BufferSpec:
+    """Buffering requirements for one ``process-stream`` variable."""
+
+    var: str
+    element_type: str
+    labels: Set[str] = field(default_factory=set)
+    whole_subtree: bool = False
+
+    def add_dependencies(self, deps: FrozenSet[str]) -> None:
+        """Fold a dependency set (possibly containing the whole-subtree
+        marker) into this spec."""
+        if WHOLE_SUBTREE in deps:
+            self.whole_subtree = True
+            self.labels.update(label for label in deps if label != WHOLE_SUBTREE)
+        else:
+            self.labels.update(deps)
+
+    @property
+    def buffers_anything(self) -> bool:
+        return self.whole_subtree or bool(self.labels)
+
+    def describe(self) -> str:
+        if self.whole_subtree:
+            return f"${self.var} ({self.element_type}): whole subtree"
+        if not self.labels:
+            return f"${self.var} ({self.element_type}): nothing"
+        return f"${self.var} ({self.element_type}): {', '.join(sorted(self.labels))}"
+
+
+class BufferDescriptionForest:
+    """The collection of :class:`BufferSpec` entries of a FluX query."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, BufferSpec] = {}
+
+    def spec_for(self, var: str, element_type: str = "") -> BufferSpec:
+        """The (created-on-demand) spec for ``$var``."""
+        if var not in self._specs:
+            self._specs[var] = BufferSpec(var=var, element_type=element_type)
+        elif element_type and not self._specs[var].element_type:
+            self._specs[var].element_type = element_type
+        return self._specs[var]
+
+    def get(self, var: str) -> Optional[BufferSpec]:
+        return self._specs.get(var)
+
+    def __iter__(self) -> Iterator[BufferSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def total_buffered_labels(self) -> int:
+        """Number of (variable, label) pairs that require buffering."""
+        return sum(len(spec.labels) for spec in self._specs.values())
+
+    def buffering_variables(self) -> List[str]:
+        """Variables that buffer at least one label (or a whole subtree)."""
+        return [spec.var for spec in self._specs.values() if spec.buffers_anything]
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump (used by examples and DESIGN docs)."""
+        if not self._specs:
+            return "(no buffers required)"
+        return "\n".join(spec.describe() for spec in self._specs.values())
+
+
+def build_bdf(query: FluxQuery) -> BufferDescriptionForest:
+    """Compute the buffer description forest of a FluX query."""
+    forest = BufferDescriptionForest()
+    _walk(query.body, forest, active_vars=[])
+    return forest
+
+
+def _walk(expr: FluxExpr, forest: BufferDescriptionForest, active_vars: List[FProcessStream]) -> None:
+    if isinstance(expr, FProcessStream):
+        forest.spec_for(expr.var, expr.element_type)
+        for handler in expr.handlers:
+            if isinstance(handler, OnHandler):
+                _walk(handler.body, forest, active_vars + [expr])
+            else:
+                _collect_handler(handler, expr, forest, active_vars)
+                _walk(handler.body, forest, active_vars + [expr])
+        return
+    if isinstance(expr, FIf):
+        for stream in active_vars:
+            deps = child_label_dependencies(expr.condition, stream.var)
+            if deps:
+                forest.spec_for(stream.var, stream.element_type).add_dependencies(deps)
+    if isinstance(expr, FBufferedExpr):
+        for stream in active_vars:
+            deps = child_label_dependencies(expr.expr, stream.var)
+            if deps:
+                forest.spec_for(stream.var, stream.element_type).add_dependencies(deps)
+    for child in expr.children():
+        _walk(child, forest, active_vars)
+
+
+def _collect_handler(
+    handler: OnFirstHandler,
+    stream: FProcessStream,
+    forest: BufferDescriptionForest,
+    active_vars: List[FProcessStream],
+) -> None:
+    """Collect the dependencies of an ``on-first`` handler body.
+
+    The body may reference the handler's own stream variable as well as (in
+    degenerate schedules) enclosing stream variables; all of them get their
+    buffers registered.
+    """
+    spec = forest.spec_for(stream.var, stream.element_type)
+    for target in active_vars + [stream]:
+        deps = _flux_dependencies(handler.body, target.var)
+        if deps:
+            forest.spec_for(target.var, target.element_type).add_dependencies(deps)
+    # Ensure the spec exists even if the handler buffers nothing (constants).
+    _ = spec
+
+
+def _flux_dependencies(body: FluxExpr, var: str) -> FrozenSet[str]:
+    deps: Set[str] = set()
+    _collect_flux_deps(body, var, deps)
+    if WHOLE_SUBTREE in deps:
+        return frozenset({WHOLE_SUBTREE}) | frozenset(d for d in deps if d != WHOLE_SUBTREE)
+    return frozenset(deps)
+
+
+def _collect_flux_deps(body: FluxExpr, var: str, out: Set[str]) -> None:
+    if isinstance(body, FBufferedExpr):
+        out.update(child_label_dependencies(body.expr, var))
+        return
+    if isinstance(body, FIf):
+        out.update(child_label_dependencies(body.condition, var))
+    from repro.core.flux import FCopyVar  # local import to avoid cycle at module load
+
+    if isinstance(body, FCopyVar) and body.var == var:
+        out.add(WHOLE_SUBTREE)
+        return
+    for child in body.children():
+        _collect_flux_deps(child, var, out)

@@ -1,0 +1,444 @@
+"""The streamed query evaluator.
+
+"Finally, the physical query plan is executed by the streamed query
+evaluator.  The latter uses our validating SAX parser, XSAX ... The streamed
+query evaluator processes these events and delivers its output in turn as an
+XML stream."  (Section 3.2 of the paper.)
+
+Execution model
+---------------
+
+The evaluator interprets the physical plan over the XSAX event stream.  Each
+``process-stream`` operator owns a *scope*: the element instance whose
+children it is currently consuming.  For every arriving child the scope
+
+1. materializes the child into its buffers when the buffer description
+   forest requires it (producing no output),
+2. fires pending ``on-first`` handlers, strictly in handler order, that are
+   already satisfied and whose output must precede the arriving child's
+   output (their index is smaller than the index of the child's ``on``
+   handler),
+3. dispatches the child to its ``on`` handler, either by streaming (the
+   handler body consumes the child's events directly, with constant memory)
+   or, when the child also had to be buffered, by replaying the materialized
+   subtree,
+4. skips the child entirely when neither applies.
+
+When the element closes, the remaining ``on-first`` handlers fire in order —
+at that point every ``past`` condition holds trivially.
+
+Output is produced as an event stream and serialized incrementally, so query
+results are never materialized.  All memory consumed by buffers flows through
+the :class:`~repro.runtime.buffers.BufferManager`, whose peak is the number
+the memory benchmarks report.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.dtd.schema import DTD
+from repro.errors import EvaluationError
+from repro.runtime.buffers import BufferManager, ScopeBuffers, StreamScopeNode
+from repro.runtime.plan import (
+    BufferedEvalOp,
+    ConstructorOp,
+    CopyVarOp,
+    IfOp,
+    OnFirstHandlerOp,
+    OnHandlerOp,
+    PhysicalPlan,
+    PlanOp,
+    ProcessStreamOp,
+    SequenceOp,
+    TextOp,
+)
+from repro.runtime.stats import RuntimeStats
+from repro.runtime.xsax import OnFirstEvent, XSAXReader
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.serializer import EventSerializer
+from repro.xmlstream.tree import XMLElement, tree_to_events
+from repro.xquery.evaluator import TreeEvaluator, string_value
+
+
+class _Scope:
+    """Runtime state of one ``process-stream`` element instance."""
+
+    __slots__ = ("tag", "attrs", "source", "buffers", "consumed", "is_document")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Dict[str, str],
+        source: Iterator[Event],
+        buffers: ScopeBuffers,
+        is_document: bool = False,
+    ):
+        self.tag = tag
+        self.attrs = attrs
+        self.source = source
+        self.buffers = buffers
+        self.consumed = False
+        self.is_document = is_document
+
+
+Binding = Union[_Scope, XMLElement, str, int, float]
+
+
+class StreamedEvaluator:
+    """Executes a physical plan over an input event stream."""
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        dtd: Optional[DTD] = None,
+        validate: bool = True,
+    ):
+        self.plan = plan
+        self.dtd = dtd if dtd is not None else plan.dtd
+        self.validate = validate
+
+    # -------------------------------------------------------------- driver
+
+    def run(
+        self,
+        events: Iterable[Event],
+        output: Optional[io.TextIOBase] = None,
+        stats: Optional[RuntimeStats] = None,
+    ) -> RuntimeStats:
+        """Evaluate the plan over ``events`` writing the result to ``output``.
+
+        Returns the runtime statistics (buffer peak, counters, timing).
+        """
+        self._stats = stats if stats is not None else RuntimeStats()
+        self._buffers = BufferManager(self._stats)
+        sink = output if output is not None else io.StringIO()
+        self._serializer = EventSerializer(sink)
+        self._env: Dict[str, Binding] = {}
+        self._stats.start_timer()
+        try:
+            reader = XSAXReader(
+                events, self.dtd, self.plan.conditions, validate=self.validate, stats=self._stats
+            )
+            first = next(reader, None)
+            if first is not None and not isinstance(first, StartDocument):
+                raise EvaluationError("input stream did not start with StartDocument")
+            document_scope = _Scope(
+                tag="#document",
+                attrs={},
+                source=reader,
+                buffers=ScopeBuffers(self._buffers),
+                is_document=True,
+            )
+            self._env["ROOT"] = document_scope
+            self._eval(self.plan.root)
+            self._serializer.close()
+            document_scope.buffers.close()
+        finally:
+            self._stats.stop_timer()
+            self._stats.output_bytes = self._serializer.bytes_written
+        return self._stats
+
+    def run_to_string(
+        self, events: Iterable[Event], stats: Optional[RuntimeStats] = None
+    ) -> "tuple[str, RuntimeStats]":
+        """Evaluate and return ``(output_xml, stats)``."""
+        sink = io.StringIO()
+        stats = self.run(events, sink, stats)
+        return sink.getvalue(), stats
+
+    # ---------------------------------------------------------- evaluation
+
+    def _eval(self, op: PlanOp) -> None:
+        if isinstance(op, SequenceOp):
+            for item in op.items:
+                self._eval(item)
+            return
+        if isinstance(op, TextOp):
+            self._serializer.write(Text(op.text))
+            return
+        if isinstance(op, ConstructorOp):
+            self._serializer.write(StartElement(op.name, op.attributes))
+            self._eval(op.content)
+            self._serializer.write(EndElement(op.name))
+            return
+        if isinstance(op, CopyVarOp):
+            self._eval_copy(op)
+            return
+        if isinstance(op, BufferedEvalOp):
+            self._eval_buffered(op)
+            return
+        if isinstance(op, IfOp):
+            evaluator = TreeEvaluator(self._evaluation_bindings())
+            branch = op.then_branch if evaluator.evaluate_boolean(op.condition) else op.else_branch
+            self._eval(branch)
+            return
+        if isinstance(op, ProcessStreamOp):
+            self._eval_process_stream(op)
+            return
+        raise EvaluationError(f"cannot execute plan operator {op!r}")
+
+    # -------------------------------------------------------------- output
+
+    def _write_items(self, items: List[object]) -> None:
+        previous_atomic = False
+        for item in items:
+            if isinstance(item, bool):
+                self._serializer.write(Text("true" if item else "false"))
+                previous_atomic = True
+            elif isinstance(item, (str, int, float)):
+                if previous_atomic:
+                    self._serializer.write(Text(" "))
+                self._serializer.write(Text(string_value(item)))
+                previous_atomic = True
+            else:
+                element = item.to_element() if hasattr(item, "to_element") else item
+                for event in tree_to_events(element):
+                    self._serializer.write(event)
+                previous_atomic = False
+
+    def _eval_buffered(self, op: BufferedEvalOp) -> None:
+        evaluator = TreeEvaluator(self._evaluation_bindings())
+        self._write_items(evaluator.evaluate(op.expr))
+
+    def _eval_copy(self, op: CopyVarOp) -> None:
+        binding = self._env.get(op.var)
+        if binding is None:
+            raise EvaluationError(f"copy of unbound variable ${op.var}")
+        if isinstance(binding, _Scope):
+            if not binding.consumed and binding.buffers.full_element is None:
+                self._stream_copy(binding)
+                return
+            element = StreamScopeNode(binding.tag, binding.attrs, binding.buffers).to_element()
+            for event in tree_to_events(element):
+                self._serializer.write(event)
+            return
+        if isinstance(binding, XMLElement):
+            for event in tree_to_events(binding):
+                self._serializer.write(event)
+            return
+        self._serializer.write(Text(string_value(binding)))
+
+    def _stream_copy(self, scope: _Scope) -> None:
+        """Copy the scope's element to the output directly from the stream."""
+        self._serializer.write(StartElement(scope.tag, tuple(scope.attrs.items())))
+        depth = 0
+        for event in scope.source:
+            if isinstance(event, OnFirstEvent):
+                continue
+            if isinstance(event, StartElement):
+                depth += 1
+                self._serializer.write(event)
+            elif isinstance(event, EndElement):
+                if depth == 0:
+                    break
+                depth -= 1
+                self._serializer.write(event)
+            elif isinstance(event, Text):
+                self._serializer.write(event)
+            elif isinstance(event, EndDocument):
+                break
+        self._serializer.write(EndElement(scope.tag))
+        scope.consumed = True
+
+    # ----------------------------------------------------------- bindings
+
+    def _evaluation_bindings(self) -> Dict[str, object]:
+        bindings: Dict[str, object] = {}
+        for name, binding in self._env.items():
+            if isinstance(binding, _Scope):
+                bindings[name] = StreamScopeNode(binding.tag, binding.attrs, binding.buffers)
+            else:
+                bindings[name] = binding
+        return bindings
+
+    # ------------------------------------------------------ process-stream
+
+    def _eval_process_stream(self, op: ProcessStreamOp) -> None:
+        binding = self._env.get(op.var)
+        if not isinstance(binding, _Scope):
+            raise EvaluationError(
+                f"process-stream ${op.var} is not bound to an active stream element"
+            )
+        scope = binding
+        if scope.consumed:
+            raise EvaluationError(
+                f"process-stream ${op.var}: the element's children were already consumed"
+            )
+        on_first_handlers = [
+            handler for handler in op.handlers if isinstance(handler, OnFirstHandlerOp)
+        ]
+        satisfied: set = set()
+        fired: set = set()
+
+        def fire_ready(max_index: float) -> None:
+            for handler in on_first_handlers:
+                if handler.index in fired:
+                    continue
+                if handler.index >= max_index:
+                    break
+                ready = handler.always_satisfied or (
+                    handler.condition_id is not None and handler.condition_id in satisfied
+                )
+                if not ready:
+                    break
+                fired.add(handler.index)
+                self._eval(handler.body)
+
+        def fire_remaining() -> None:
+            for handler in on_first_handlers:
+                if handler.index not in fired:
+                    fired.add(handler.index)
+                    self._eval(handler.body)
+
+        if op.buffer_whole:
+            scope.buffers.ensure_full_element(scope.tag, scope.attrs)
+
+        for event in scope.source:
+            if isinstance(event, OnFirstEvent):
+                satisfied.add(event.condition_id)
+                continue
+            if isinstance(event, Text):
+                if op.buffer_whole:
+                    scope.buffers.append_full_text(event.text)
+                continue
+            if isinstance(event, StartElement):
+                self._process_child(op, scope, event, fire_ready)
+                continue
+            if isinstance(event, (EndElement, EndDocument)):
+                fire_remaining()
+                scope.consumed = True
+                return
+        # The source was exhausted without an explicit end event (replayed
+        # subtrees end exactly at their closing tag).
+        fire_remaining()
+        scope.consumed = True
+
+    def _process_child(
+        self,
+        op: ProcessStreamOp,
+        scope: _Scope,
+        event: StartElement,
+        fire_ready,
+    ) -> None:
+        label = event.name
+        handler_index = op.on_index.get(label)
+        max_index = handler_index if handler_index is not None else math.inf
+        need_buffer = op.buffer_whole or label in op.buffer_labels
+        subtree: Optional[XMLElement] = None
+        if need_buffer:
+            subtree = self._materialize(event, scope.source)
+            if op.buffer_whole:
+                scope.buffers.append_full_child(subtree)
+            else:
+                scope.buffers.add_child(label, subtree)
+        fire_ready(max_index)
+        if handler_index is not None:
+            handler = op.handlers[handler_index]
+            assert isinstance(handler, OnHandlerOp)
+            if subtree is not None:
+                self._run_handler_on_tree(handler, subtree)
+            else:
+                self._run_handler_streaming(handler, event, scope.source)
+        elif subtree is None:
+            self._skip_subtree(scope.source)
+
+    # ------------------------------------------------------------ handlers
+
+    def _run_handler_streaming(
+        self, handler: OnHandlerOp, event: StartElement, source: Iterator[Event]
+    ) -> None:
+        child_scope = _Scope(
+            tag=event.name,
+            attrs=event.attributes,
+            source=source,
+            buffers=ScopeBuffers(self._buffers),
+        )
+        self._with_binding(handler.var, child_scope, handler.body)
+        if not child_scope.consumed:
+            self._skip_subtree(source)
+        child_scope.buffers.close()
+
+    def _run_handler_on_tree(self, handler: OnHandlerOp, subtree: XMLElement) -> None:
+        events = tree_to_events(subtree)
+        # Skip the subtree's own start tag: the scope reads children only.
+        iterator = iter(events)
+        first = next(iterator, None)
+        if not isinstance(first, StartElement):  # pragma: no cover - defensive
+            raise EvaluationError("replayed subtree did not start with a start tag")
+        replay = XSAXReader(
+            _chain_one(first, iterator), self.dtd, self.plan.conditions, validate=False
+        )
+        # Consume the start tag again from the XSAX reader so conditions of
+        # the replayed element are tracked exactly as on the live stream.
+        next(replay, None)
+        child_scope = _Scope(
+            tag=subtree.tag,
+            attrs=dict(subtree.attrs),
+            source=replay,
+            buffers=ScopeBuffers(self._buffers),
+        )
+        self._with_binding(handler.var, child_scope, handler.body)
+        child_scope.buffers.close()
+
+    def _with_binding(self, name: str, binding: Binding, body: PlanOp) -> None:
+        previous = self._env.get(name)
+        had_previous = name in self._env
+        self._env[name] = binding
+        try:
+            self._eval(body)
+        finally:
+            if had_previous:
+                self._env[name] = previous
+            else:
+                self._env.pop(name, None)
+
+    # --------------------------------------------------------------- input
+
+    def _materialize(self, event: StartElement, source: Iterator[Event]) -> XMLElement:
+        """Build the subtree rooted at ``event`` by consuming its events."""
+        root = XMLElement(event.name, event.attributes)
+        stack: List[XMLElement] = [root]
+        for item in source:
+            if isinstance(item, OnFirstEvent):
+                continue
+            if isinstance(item, StartElement):
+                child = XMLElement(item.name, item.attributes)
+                stack[-1].append(child)
+                stack.append(child)
+            elif isinstance(item, Text):
+                stack[-1].append_text(item.text)
+            elif isinstance(item, EndElement):
+                stack.pop()
+                if not stack:
+                    return root
+            elif isinstance(item, EndDocument):  # pragma: no cover - defensive
+                break
+        return root
+
+    def _skip_subtree(self, source: Iterator[Event]) -> None:
+        """Consume and discard the events of one child subtree."""
+        depth = 0
+        for item in source:
+            if isinstance(item, StartElement):
+                depth += 1
+            elif isinstance(item, EndElement):
+                if depth == 0:
+                    return
+                depth -= 1
+            elif isinstance(item, EndDocument):  # pragma: no cover - defensive
+                return
+
+
+def _chain_one(first: Event, rest: Iterator[Event]) -> Iterator[Event]:
+    yield first
+    yield from rest

@@ -1,0 +1,86 @@
+"""Runtime statistics shared by all engines.
+
+The paper's evaluation reports two quantities — main-memory consumption and
+running time.  :class:`RuntimeStats` is the single accounting object every
+engine fills in, so the benchmark harness can compare engines on identical
+metrics:
+
+* ``peak_buffer_bytes`` — the maximum number of bytes held in explicit
+  buffers at any point during evaluation (document trees for the DOM engine,
+  projected trees for the projection engine, BDF buffers and per-element
+  materializations for the FluX engine);
+* ``events_processed`` / ``elements_parsed`` — stream progress counters;
+* ``output_bytes`` — size of the serialized result;
+* ``elapsed_seconds`` — wall-clock evaluation time (excluding query
+  compilation, which is reported separately by the optimizer pipeline).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class RuntimeStats:
+    """Mutable counters describing one query evaluation."""
+
+    peak_buffer_bytes: int = 0
+    current_buffer_bytes: int = 0
+    events_processed: int = 0
+    elements_parsed: int = 0
+    onfirst_events: int = 0
+    buffered_nodes: int = 0
+    output_bytes: int = 0
+    elapsed_seconds: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    _started_at: Optional[float] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------- buffers
+
+    def buffer_grow(self, amount: int) -> None:
+        """Record ``amount`` additional buffered bytes."""
+        self.current_buffer_bytes += amount
+        if self.current_buffer_bytes > self.peak_buffer_bytes:
+            self.peak_buffer_bytes = self.current_buffer_bytes
+
+    def buffer_shrink(self, amount: int) -> None:
+        """Record the release of ``amount`` buffered bytes."""
+        self.current_buffer_bytes = max(0, self.current_buffer_bytes - amount)
+
+    # -------------------------------------------------------------- timing
+
+    def start_timer(self) -> None:
+        """Start (or restart) the evaluation wall-clock."""
+        self._started_at = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        """Stop the wall-clock and accumulate into ``elapsed_seconds``."""
+        if self._started_at is not None:
+            self.elapsed_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    # ------------------------------------------------------------- summary
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the benchmark reporting layer."""
+        return {
+            "peak_buffer_bytes": self.peak_buffer_bytes,
+            "events_processed": self.events_processed,
+            "elements_parsed": self.elements_parsed,
+            "onfirst_events": self.onfirst_events,
+            "buffered_nodes": self.buffered_nodes,
+            "output_bytes": self.output_bytes,
+            "elapsed_seconds": self.elapsed_seconds,
+            **self.extra,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"peak buffer: {self.peak_buffer_bytes} B, "
+            f"events: {self.events_processed}, "
+            f"output: {self.output_bytes} B, "
+            f"time: {self.elapsed_seconds * 1000:.1f} ms"
+        )

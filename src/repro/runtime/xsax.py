@@ -1,0 +1,323 @@
+"""XSAX — the validating SAX parser with ``on-first`` events.
+
+"The streamed query evaluator ... uses our validating SAX parser, XSAX,
+which is an extension of a standard SAX parser that in addition produces
+on-first events in addition to customary SAX-events. ... We first register
+the DTD and all on-first event handlers of the input query with the XSAX
+parser.  Based on this information, the XSAX parser builds a finite state
+automaton and lookup-tables for validating the input and generating on-first
+events."  (Section 3.2 of the paper.)
+
+The implementation mirrors that description:
+
+* conditions (an element type plus a set of child labels) are registered in
+  a :class:`ConditionRegistry` before parsing starts;
+* :class:`XSAXReader` wraps any ordinary event stream, maintains one
+  content-model automaton state per open element (which doubles as
+  validation), and inserts :class:`OnFirstEvent` notifications into the
+  stream at the earliest position the DTD implies that none of the
+  condition's labels can occur among the remaining children:
+
+  - immediately after an element's start tag, when the condition holds
+    vacuously (e.g. the labels cannot occur at all);
+  - immediately **before** the start tag of the child whose arrival makes
+    the condition true (so the consumer can still decide whether to handle
+    that child before or after firing, preserving output order);
+  - immediately before the element's end tag, for conditions that only
+    become certain when the element closes (this is also the fallback when
+    no DTD is available).
+
+The document itself is treated as a pseudo-element whose content model has
+the root element as its single child, so top-level conditions work the same
+way as everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import XMLValidationError
+from repro.dtd.schema import DTD
+from repro.runtime.stats import RuntimeStats
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xquery.analysis import DOCUMENT_TYPE, WHOLE_SUBTREE
+
+
+@dataclass(frozen=True)
+class OnFirstEvent(Event):
+    """Inserted into the stream when a registered ``past`` condition holds.
+
+    ``condition_id`` identifies the registered condition; ``element_type``
+    and ``labels`` are carried for debugging and tests.
+    """
+
+    condition_id: int
+    element_type: str
+    labels: FrozenSet[str]
+
+    def size_estimate(self) -> int:
+        return 8
+
+
+class ConditionRegistry:
+    """Registry of ``on-first past(labels)`` conditions per element type."""
+
+    def __init__(self) -> None:
+        self._ids: Dict[Tuple[str, FrozenSet[str]], int] = {}
+        self._by_type: Dict[str, List[Tuple[int, FrozenSet[str]]]] = {}
+
+    def register(self, element_type: str, labels: FrozenSet[str]) -> int:
+        """Register a condition, returning its (deduplicated) id."""
+        key = (element_type, labels)
+        if key in self._ids:
+            return self._ids[key]
+        condition_id = len(self._ids)
+        self._ids[key] = condition_id
+        self._by_type.setdefault(element_type, []).append((condition_id, labels))
+        return condition_id
+
+    def conditions_for(self, element_type: str) -> List[Tuple[int, FrozenSet[str]]]:
+        """All registered conditions for ``element_type``."""
+        return list(self._by_type.get(element_type, []))
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+class _OpenElement:
+    """XSAX bookkeeping for one open element."""
+
+    __slots__ = ("name", "state", "pending")
+
+    def __init__(self, name: str, state: Optional[int], pending: List[Tuple[int, FrozenSet[str]]]):
+        self.name = name
+        self.state = state
+        # Conditions registered for this element type that have not fired yet.
+        self.pending = pending
+
+
+class XSAXReader:
+    """Iterator over an event stream augmented with ``on-first`` events.
+
+    Parameters
+    ----------
+    events:
+        The underlying event stream (typically
+        :func:`repro.xmlstream.parser.parse_events`).
+    dtd:
+        The schema; ``None`` disables early firing (conditions then fire just
+        before the closing tag) and validation.
+    conditions:
+        The registered ``on-first`` conditions.
+    validate:
+        When true (default) the reader raises
+        :class:`~repro.errors.XMLValidationError` on documents that violate
+        the DTD, exactly like the streaming validator.
+    stats:
+        Optional statistics sink (event counters).
+    """
+
+    def __init__(
+        self,
+        events: Iterable[Event],
+        dtd: Optional[DTD],
+        conditions: Optional[ConditionRegistry] = None,
+        validate: bool = True,
+        stats: Optional[RuntimeStats] = None,
+    ):
+        self._events = iter(events)
+        self._dtd = dtd
+        self._conditions = conditions if conditions is not None else ConditionRegistry()
+        self._validate = validate
+        self._stats = stats
+        self._stack: List[_OpenElement] = []
+        self._queue: List[Event] = []
+        self._started = False
+
+    # ------------------------------------------------------------ iterator
+
+    def __iter__(self) -> Iterator[Event]:
+        return self
+
+    def __next__(self) -> Event:
+        if self._queue:
+            event = self._queue.pop(0)
+        else:
+            event = self._advance()
+        if self._stats is not None:
+            self._stats.events_processed += 1
+            if isinstance(event, OnFirstEvent):
+                self._stats.onfirst_events += 1
+            elif isinstance(event, StartElement):
+                self._stats.elements_parsed += 1
+        return event
+
+    def _advance(self) -> Event:
+        event = next(self._events)
+        if isinstance(event, StartDocument):
+            self._open_document()
+            return event
+        if isinstance(event, EndDocument):
+            return self._close_document(event)
+        if isinstance(event, StartElement):
+            return self._handle_start(event)
+        if isinstance(event, EndElement):
+            return self._handle_end(event)
+        return event
+
+    # ------------------------------------------------------------ document
+
+    def _open_document(self) -> None:
+        pending = self._conditions.conditions_for(DOCUMENT_TYPE)
+        self._stack.append(_OpenElement(DOCUMENT_TYPE, 0, list(pending)))
+        # Conditions that hold before the root element arrives (empty label
+        # sets or labels other than the root).
+        self._fire_satisfied(self._stack[-1], after=True)
+
+    def _close_document(self, event: EndDocument) -> Event:
+        if not self._stack:
+            return event
+        document = self._stack.pop()
+        remaining = [
+            OnFirstEvent(condition_id, document.name, labels)
+            for condition_id, labels in document.pending
+        ]
+        document.pending = []
+        if remaining:
+            self._queue = remaining[1:] + [event] + self._queue
+            return remaining[0]
+        return event
+
+    # ------------------------------------------------------------- element
+
+    def _handle_start(self, event: StartElement) -> Event:
+        fired_before: List[Event] = []
+        if self._stack:
+            parent = self._stack[-1]
+            self._step_parent(parent, event.name)
+            fired_before = self._collect_satisfied(parent)
+        child_pending = self._conditions.conditions_for(event.name)
+        element = _OpenElement(event.name, self._initial_state(event.name), list(child_pending))
+        self._stack.append(element)
+        # Conditions on the new element that hold immediately.
+        fired_after = self._collect_satisfied(element)
+        if fired_before:
+            # The on-first events precede the triggering start tag.
+            self._queue = fired_before[1:] + [event] + fired_after + self._queue
+            return fired_before[0]
+        if fired_after:
+            self._queue = fired_after + self._queue
+        return event
+
+    def _handle_end(self, event: EndElement) -> Event:
+        if not self._stack:
+            raise XMLValidationError(f"unexpected closing tag </{event.name}>")
+        element = self._stack.pop()
+        if element.name == DOCUMENT_TYPE:
+            raise XMLValidationError(f"unexpected closing tag </{event.name}>")
+        if element.name != event.name:
+            raise XMLValidationError(
+                f"closing tag </{event.name}> does not match open element <{element.name}>"
+            )
+        if self._validate and self._dtd is not None and element.state is not None:
+            automaton = self._dtd.automaton(element.name)
+            if not automaton.is_accepting(element.state):
+                raise XMLValidationError(
+                    f"element <{element.name}> closed with incomplete content"
+                )
+        remaining = [
+            OnFirstEvent(condition_id, element.name, labels)
+            for condition_id, labels in element.pending
+        ]
+        element.pending = []
+        if remaining:
+            self._queue = remaining[1:] + [event] + self._queue
+            return remaining[0]
+        return event
+
+    # ------------------------------------------------------------- helpers
+
+    def _initial_state(self, name: str) -> Optional[int]:
+        if self._dtd is not None and self._dtd.has_element(name):
+            return self._dtd.automaton(name).start_state
+        return None
+
+    def _step_parent(self, parent: _OpenElement, child_name: str) -> None:
+        if parent.name == DOCUMENT_TYPE:
+            if self._validate and self._dtd is not None and child_name != self._dtd.root:
+                raise XMLValidationError(
+                    f"root element is <{child_name}>, expected <{self._dtd.root}>"
+                )
+            parent.state = 1  # the single child has been seen
+            return
+        if self._dtd is None or parent.state is None:
+            return
+        if not self._dtd.has_element(parent.name):
+            return
+        automaton = self._dtd.automaton(parent.name)
+        next_state = automaton.step(parent.state, child_name)
+        if next_state is None:
+            if self._validate:
+                raise XMLValidationError(
+                    f"element <{child_name}> is not allowed here inside <{parent.name}>"
+                )
+            return
+        parent.state = next_state
+
+    def _condition_holds(self, element: _OpenElement, labels: FrozenSet[str]) -> bool:
+        """Whether no label of ``labels`` can occur among the remaining
+        children of ``element``."""
+        if not labels:
+            return True
+        if WHOLE_SUBTREE in labels:
+            return False
+        if element.name == DOCUMENT_TYPE:
+            if self._dtd is None:
+                return False
+            root_needed = self._dtd.root in labels
+            if not root_needed:
+                return True
+            return element.state == 1
+        if self._dtd is None or element.state is None or not self._dtd.has_element(element.name):
+            return False
+        automaton = self._dtd.automaton(element.name)
+        return not automaton.can_still_occur(element.state, labels)
+
+    def _collect_satisfied(self, element: _OpenElement) -> List[Event]:
+        fired: List[Event] = []
+        still_pending: List[Tuple[int, FrozenSet[str]]] = []
+        for condition_id, labels in element.pending:
+            if self._condition_holds(element, labels):
+                fired.append(OnFirstEvent(condition_id, element.name, labels))
+            else:
+                still_pending.append((condition_id, labels))
+        element.pending = still_pending
+        return fired
+
+    def _fire_satisfied(self, element: _OpenElement, after: bool) -> None:
+        fired = self._collect_satisfied(element)
+        if fired:
+            if after:
+                self._queue.extend(fired)
+            else:
+                self._queue = fired + self._queue
+
+    def _fire_all(self, element: _OpenElement, front: bool) -> None:
+        fired = [
+            OnFirstEvent(condition_id, element.name, labels)
+            for condition_id, labels in element.pending
+        ]
+        element.pending = []
+        if fired:
+            if front:
+                self._queue = fired + self._queue
+            else:
+                self._queue.extend(fired)

@@ -1,0 +1,54 @@
+"""Workloads: DTD catalogue, document generators, and query catalogue.
+
+The paper's evaluation (reported in the companion paper and summarized in the
+demo paper) uses the XML Query Use Cases "XMP" bibliography documents and
+XMark-style auction documents.  Neither generator can be redistributed here,
+so this package provides deterministic, seeded in-repo equivalents:
+
+* :mod:`repro.workloads.dtds` — the DTDs of Figures 1 (strong bibliography),
+  the weak bibliography DTD of Section 2, and an auction-site DTD with the
+  structural features the auction queries exercise;
+* :mod:`repro.workloads.bibgen` — bibliography document generator
+  (conforming to either bibliography DTD, scalable by book count or target
+  size);
+* :mod:`repro.workloads.xmark` — auction-site document generator;
+* :mod:`repro.workloads.queries` — the query catalogue (XMP-style
+  bibliography queries and auction queries) with machine-readable metadata
+  used by the benchmark harness.
+"""
+
+from repro.workloads.dtds import (
+    AUCTION_DTD,
+    BIB_DTD_STRONG,
+    BIB_DTD_WEAK,
+    auction_dtd,
+    bib_dtd_strong,
+    bib_dtd_weak,
+)
+from repro.workloads.bibgen import BibliographyGenerator, generate_bibliography
+from repro.workloads.xmark import AuctionGenerator, generate_auction_site
+from repro.workloads.queries import (
+    AUCTION_QUERIES,
+    BIB_QUERIES,
+    QuerySpec,
+    get_query,
+    queries_for_workload,
+)
+
+__all__ = [
+    "BIB_DTD_STRONG",
+    "BIB_DTD_WEAK",
+    "AUCTION_DTD",
+    "bib_dtd_strong",
+    "bib_dtd_weak",
+    "auction_dtd",
+    "BibliographyGenerator",
+    "generate_bibliography",
+    "AuctionGenerator",
+    "generate_auction_site",
+    "QuerySpec",
+    "BIB_QUERIES",
+    "AUCTION_QUERIES",
+    "get_query",
+    "queries_for_workload",
+]

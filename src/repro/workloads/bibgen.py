@@ -1,0 +1,182 @@
+"""Deterministic bibliography document generator.
+
+Generates XML documents that conform to either the strong bibliography DTD of
+Figure 1 (``title`` before authors/editors before ``publisher`` before
+``price``) or the weak DTD of Section 2 (children of a book may interleave in
+any order), so the memory benefit of order constraints can be measured on
+otherwise identical content.
+
+Documents are reproducible for a given seed and parameter set; sizes scale
+linearly with the number of books (roughly 330 bytes per book with default
+parameters), and :meth:`BibliographyGenerator.books_for_target_size` converts
+a target document size into a book count for the scaling experiments.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.xmlstream.serializer import escape_attribute, escape_text
+
+_TITLE_WORDS = [
+    "Advanced", "Data", "Streams", "Query", "Processing", "Semistructured",
+    "Databases", "Principles", "Foundations", "XML", "Optimization", "Systems",
+    "Transactions", "Information", "Retrieval", "Distributed", "Algorithms",
+]
+_LAST_NAMES = [
+    "Stevens", "Abiteboul", "Buneman", "Suciu", "Koch", "Scherzinger",
+    "Schweikardt", "Stegmaier", "Widom", "Ullman", "Garcia-Molina", "Vianu",
+]
+_FIRST_NAMES = [
+    "Richard", "Serge", "Peter", "Dan", "Christoph", "Stefanie", "Nicole",
+    "Bernhard", "Jennifer", "Jeffrey", "Hector", "Victor",
+]
+_PUBLISHERS = [
+    "Addison-Wesley", "Morgan Kaufmann", "Springer", "Cambridge University Press",
+    "O'Reilly", "MIT Press",
+]
+_AFFILIATIONS = ["TU Wien", "HU Berlin", "TU Muenchen", "Stanford", "U Penn", "INRIA"]
+
+
+@dataclass
+class BibliographyGenerator:
+    """Configurable generator for bibliography documents.
+
+    Parameters
+    ----------
+    num_books:
+        Number of ``book`` elements.
+    seed:
+        Random seed; the same seed and parameters always produce the same
+        document.
+    max_authors:
+        Maximum number of authors per book (at least 1 author or editor is
+        always generated, as both DTDs require).
+    editor_fraction:
+        Fraction of books that have editors instead of authors.
+    conform_to:
+        ``"strong"`` produces children in the order of the Figure 1 DTD;
+        ``"weak"`` interleaves titles/authors/publisher/price randomly (valid
+        only for the weak DTD) so that order constraints genuinely do not
+        hold on the data.
+    include_doctype:
+        Whether to emit an inline DOCTYPE carrying the matching DTD.
+    """
+
+    num_books: int = 100
+    seed: int = 20040831
+    max_authors: int = 4
+    editor_fraction: float = 0.15
+    conform_to: str = "strong"
+    include_doctype: bool = False
+
+    #: Approximate serialized size of one book with default parameters.
+    APPROX_BYTES_PER_BOOK = 330
+
+    def __post_init__(self) -> None:
+        if self.num_books < 0:
+            raise WorkloadError("num_books must be non-negative")
+        if self.conform_to not in ("strong", "weak"):
+            raise WorkloadError("conform_to must be 'strong' or 'weak'")
+        if not 0 <= self.editor_fraction <= 1:
+            raise WorkloadError("editor_fraction must be within [0, 1]")
+        if self.max_authors < 1:
+            raise WorkloadError("max_authors must be at least 1")
+
+    # ------------------------------------------------------------ sizing
+
+    @classmethod
+    def books_for_target_size(cls, target_bytes: int) -> int:
+        """Book count whose document is approximately ``target_bytes`` big."""
+        return max(1, target_bytes // cls.APPROX_BYTES_PER_BOOK)
+
+    # ---------------------------------------------------------- generation
+
+    def generate(self) -> str:
+        """Generate the document and return it as an XML string."""
+        sink = io.StringIO()
+        self.write(sink)
+        return sink.getvalue()
+
+    def write(self, sink: io.TextIOBase) -> int:
+        """Write the document to ``sink``; returns the number of characters."""
+        rng = random.Random(self.seed)
+        written = 0
+
+        def emit(text: str) -> None:
+            nonlocal written
+            sink.write(text)
+            written += len(text)
+
+        if self.include_doctype:
+            from repro.workloads.dtds import BIB_DTD_STRONG, BIB_DTD_WEAK
+
+            dtd_text = BIB_DTD_STRONG if self.conform_to == "strong" else BIB_DTD_WEAK
+            emit(f"<!DOCTYPE bib [{dtd_text}]>\n")
+        emit("<bib>")
+        for index in range(self.num_books):
+            emit(self._book(rng, index))
+        emit("</bib>")
+        return written
+
+    # ------------------------------------------------------------ pieces
+
+    def _book(self, rng: random.Random, index: int) -> str:
+        year = rng.randint(1985, 2004)
+        title = self._title(rng, index)
+        persons = self._persons(rng)
+        publisher = f"<publisher>{escape_text(rng.choice(_PUBLISHERS))}</publisher>"
+        price = f"<price>{rng.randint(15, 120)}.{rng.randint(0, 99):02d}</price>"
+        if self.conform_to == "strong":
+            children: List[str] = [title, *persons, publisher, price]
+        else:
+            children = [title, *persons, publisher, price]
+            rng.shuffle(children)
+        body = "".join(children)
+        return f'<book year="{year}">{body}</book>'
+
+    def _title(self, rng: random.Random, index: int) -> str:
+        words = rng.sample(_TITLE_WORDS, k=rng.randint(2, 4))
+        text = " ".join(words) + f" (vol. {index + 1})"
+        return f"<title>{escape_text(text)}</title>"
+
+    def _persons(self, rng: random.Random) -> List[str]:
+        count = rng.randint(1, self.max_authors)
+        use_editors = rng.random() < self.editor_fraction
+        persons: List[str] = []
+        for _ in range(count):
+            last = escape_text(rng.choice(_LAST_NAMES))
+            first = escape_text(rng.choice(_FIRST_NAMES))
+            if use_editors:
+                affiliation = escape_text(rng.choice(_AFFILIATIONS))
+                persons.append(
+                    f"<editor><last>{last}</last><first>{first}</first>"
+                    f"<affiliation>{affiliation}</affiliation></editor>"
+                )
+            else:
+                persons.append(
+                    f"<author><last>{last}</last><first>{first}</first></author>"
+                )
+        return persons
+
+
+def generate_bibliography(
+    num_books: int = 100,
+    seed: int = 20040831,
+    conform_to: str = "strong",
+    max_authors: int = 4,
+    editor_fraction: float = 0.15,
+) -> str:
+    """Convenience wrapper returning a bibliography document as a string."""
+    generator = BibliographyGenerator(
+        num_books=num_books,
+        seed=seed,
+        conform_to=conform_to,
+        max_authors=max_authors,
+        editor_fraction=editor_fraction,
+    )
+    return generator.generate()

@@ -1,0 +1,104 @@
+"""DTD catalogue used by the workloads and benchmarks.
+
+Three schemas:
+
+* :data:`BIB_DTD_STRONG` — the bibliography DTD of Figure 1 of the paper
+  (extended with the sub-structure of the XML Query Use Cases ``bib.dtd`` so
+  author/editor names have ``last``/``first`` children).  Its content model
+  ``(title,(author+|editor+),publisher,price)`` provides the order
+  constraints (``title`` before ``author`` before ``publisher`` before
+  ``price``), the cardinality constraint ``publisher ∈ ||≤1 book``, and the
+  co-occurrence constraint (no book has both authors and editors) that the
+  optimizer exploits.
+* :data:`BIB_DTD_WEAK` — the weak DTD of Section 2
+  (``book (title|author)*`` extended with the other children) under which
+  titles and authors may interleave, so Q3-style queries must buffer.
+* :data:`AUCTION_DTD` — an XMark-style auction-site schema whose top-level
+  order (regions, people, open_auctions, closed_auctions) gives the
+  scheduler cross-section order constraints.
+"""
+
+from __future__ import annotations
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD
+
+#: Figure 1 of the paper, with the XMP ``bib.dtd`` person sub-structure.
+BIB_DTD_STRONG = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (last,first)>
+<!ELEMENT editor (last,first,affiliation)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+#: The weak DTD of Section 2 of the paper: no order among a book's children.
+BIB_DTD_WEAK = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author|editor|publisher|price)*>
+<!ATTLIST book year CDATA #REQUIRED>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (last,first)>
+<!ELEMENT editor (last,first,affiliation)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+#: XMark-style auction site (structurally reduced, constraint-preserving).
+AUCTION_DTD = """
+<!ELEMENT site (regions,people,open_auctions,closed_auctions)>
+<!ELEMENT regions (item)*>
+<!ELEMENT item (name,description,quantity,payment)>
+<!ATTLIST item id CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT people (person)*>
+<!ELEMENT person (name,emailaddress,phone?,creditcard?)>
+<!ATTLIST person id CDATA #REQUIRED>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT open_auctions (open_auction)*>
+<!ELEMENT open_auction (initial,bidder*,current,itemref,seller)>
+<!ATTLIST open_auction id CDATA #REQUIRED>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date,increase)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ATTLIST itemref item CDATA #REQUIRED>
+<!ELEMENT seller EMPTY>
+<!ATTLIST seller person CDATA #REQUIRED>
+<!ELEMENT closed_auctions (closed_auction)*>
+<!ELEMENT closed_auction (seller,buyer,itemref,price,date)>
+<!ELEMENT buyer EMPTY>
+<!ATTLIST buyer person CDATA #REQUIRED>
+<!ELEMENT price (#PCDATA)>
+"""
+
+
+def bib_dtd_strong() -> DTD:
+    """Parsed strong bibliography DTD (Figure 1)."""
+    return parse_dtd(BIB_DTD_STRONG)
+
+
+def bib_dtd_weak() -> DTD:
+    """Parsed weak bibliography DTD (Section 2)."""
+    return parse_dtd(BIB_DTD_WEAK)
+
+
+def auction_dtd() -> DTD:
+    """Parsed auction-site DTD."""
+    return parse_dtd(AUCTION_DTD)

@@ -1,0 +1,232 @@
+"""Query catalogue.
+
+The demo paper's evaluation workload is drawn from the XML Query Use Cases
+("XMP") and the companion paper's XMark-style experiments.  The queries below
+are phrased inside the XQuery fragment FluXQuery supports (no aggregation),
+each with machine-readable metadata so the benchmark harness can enumerate
+them:
+
+* the bibliography queries ``BIB-Q1`` … ``BIB-Q6`` exercise streaming copies,
+  where-clauses on attributes and on child values, nested loops, existence
+  tests, and the unsatisfiable author/editor conditional of Section 3.1;
+* the auction queries ``AUC-A1`` … ``AUC-A4`` exercise the top-level order
+  constraints of the auction DTD, per-auction buffering, and a value join
+  across document sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One catalogued query with metadata used by benches and tests."""
+
+    key: str
+    title: str
+    xquery: str
+    workload: str  # "bib" or "auction"
+    #: Expected scheduling behaviour under the *strong* DTD of the workload:
+    #: "streaming" (no buffering of list data), "bounded" (buffers a bounded
+    #: amount per outer element), or "join" (buffers whole document sections).
+    expected_behaviour: str
+    description: str = ""
+
+
+# -------------------------------------------------------------- bibliography
+
+_BIB_QUERIES: List[QuerySpec] = [
+    QuerySpec(
+        key="BIB-Q1",
+        title="Books by Addison-Wesley after 1991 (XMP Q1)",
+        workload="bib",
+        expected_behaviour="bounded",
+        description=(
+            "Filter on publisher (a late child) and on the year attribute; the "
+            "title must be buffered per book until the publisher is known."
+        ),
+        xquery="""
+<bib>
+{ for $b in $ROOT/bib/book
+  where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+  return <book>{ $b/title }</book> }
+</bib>
+""",
+    ),
+    QuerySpec(
+        key="BIB-Q2",
+        title="Flat title/author pairs (XMP Q2)",
+        workload="bib",
+        expected_behaviour="bounded",
+        description=(
+            "One result element per (title, author) pair; the title of each "
+            "book is buffered while its authors stream past."
+        ),
+        xquery="""
+<results>
+{ for $b in $ROOT/bib/book return
+    for $a in $b/author return
+      <result>{ $b/title } { $a }</result> }
+</results>
+""",
+    ),
+    QuerySpec(
+        key="BIB-Q3",
+        title="Titles and authors grouped per book (XMP Q3, the paper's example)",
+        workload="bib",
+        expected_behaviour="streaming",
+        description=(
+            "The running example of the paper: under the strong DTD both the "
+            "titles and the authors can be copied to the output as they "
+            "arrive; under the weak DTD the authors of one book are buffered."
+        ),
+        xquery="""
+<results>
+{ for $b in $ROOT/bib/book return
+    <result> { $b/title } { $b/author } </result> }
+</results>
+""",
+    ),
+    QuerySpec(
+        key="BIB-Q4",
+        title="Title and price of every book",
+        workload="bib",
+        expected_behaviour="streaming",
+        description=(
+            "Copies two children that the strong DTD orders (title before "
+            "price), skipping the authors in between — fully streamable."
+        ),
+        xquery="""
+<pricelist>
+{ for $b in $ROOT/bib/book return
+    <entry> { $b/title } { $b/price } </entry> }
+</pricelist>
+""",
+    ),
+    QuerySpec(
+        key="BIB-Q5",
+        title="Books that have an editor",
+        workload="bib",
+        expected_behaviour="bounded",
+        description=(
+            "Existence test on editors plus output of title and editor "
+            "affiliation; needs per-book buffering of the tested children."
+        ),
+        xquery="""
+<edited>
+{ for $b in $ROOT/bib/book
+  where exists($b/editor)
+  return <book>{ $b/title } { $b/editor }</book> }
+</edited>
+""",
+    ),
+    QuerySpec(
+        key="BIB-Q6",
+        title="Books where one person is both author and editor (unsatisfiable)",
+        workload="bib",
+        expected_behaviour="streaming",
+        description=(
+            "The co-occurrence example of Section 3.1: the strong DTD forbids "
+            "a book having both authors and editors, so the optimizer removes "
+            "the conditional and the query produces an empty list without "
+            "touching any buffers."
+        ),
+        xquery="""
+<suspicious>
+{ for $b in $ROOT/bib/book return
+    if ($b/author/last = "Goedel" and $b/editor/last = "Goedel")
+    then <hit>{ $b/title }</hit>
+    else () }
+</suspicious>
+""",
+    ),
+]
+
+
+# ------------------------------------------------------------------ auction
+
+_AUCTION_QUERIES: List[QuerySpec] = [
+    QuerySpec(
+        key="AUC-A1",
+        title="Names of all items on offer",
+        workload="auction",
+        expected_behaviour="streaming",
+        description="Copies one early child per item; fully streamable.",
+        xquery="""
+<items>
+{ for $i in $ROOT/site/regions/item return <item>{ $i/name }</item> }
+</items>
+""",
+    ),
+    QuerySpec(
+        key="AUC-A2",
+        title="Initial and current price of every open auction",
+        workload="auction",
+        expected_behaviour="bounded",
+        description=(
+            "initial precedes the bidder list and current follows it; both "
+            "can stream under the auction DTD's order constraints."
+        ),
+        xquery="""
+<prices>
+{ for $a in $ROOT/site/open_auctions/open_auction return
+    <auction> { $a/initial } { $a/current } </auction> }
+</prices>
+""",
+    ),
+    QuerySpec(
+        key="AUC-A3",
+        title="Buyers joined with their closed auctions",
+        workload="auction",
+        expected_behaviour="join",
+        description=(
+            "A value join between people and closed auctions; both sections "
+            "must be buffered (by every engine), the paper's fragment "
+            "supports it through the BDF."
+        ),
+        xquery="""
+<purchases>
+{ for $p in $ROOT/site/people/person return
+    for $c in $ROOT/site/closed_auctions/closed_auction
+    where $c/buyer/@person = $p/@id
+    return <purchase>{ $p/name } { $c/price }</purchase> }
+</purchases>
+""",
+    ),
+    QuerySpec(
+        key="AUC-A4",
+        title="Auctions that already have bidders",
+        workload="auction",
+        expected_behaviour="bounded",
+        description=(
+            "Existence test on bidders with output of the current price; "
+            "requires bounded per-auction buffering."
+        ),
+        xquery="""
+<active>
+{ for $a in $ROOT/site/open_auctions/open_auction
+  where exists($a/bidder)
+  return <auction>{ $a/current }</auction> }
+</active>
+""",
+    ),
+]
+
+
+BIB_QUERIES: Dict[str, QuerySpec] = {spec.key: spec for spec in _BIB_QUERIES}
+AUCTION_QUERIES: Dict[str, QuerySpec] = {spec.key: spec for spec in _AUCTION_QUERIES}
+ALL_QUERIES: Dict[str, QuerySpec] = {**BIB_QUERIES, **AUCTION_QUERIES}
+
+
+def get_query(key: str) -> QuerySpec:
+    """Look up a catalogued query by key (e.g. ``"BIB-Q3"``)."""
+    if key not in ALL_QUERIES:
+        raise KeyError(f"unknown query {key!r}; known: {sorted(ALL_QUERIES)}")
+    return ALL_QUERIES[key]
+
+
+def queries_for_workload(workload: str) -> List[QuerySpec]:
+    """All catalogued queries for ``"bib"`` or ``"auction"``."""
+    return [spec for spec in ALL_QUERIES.values() if spec.workload == workload]

@@ -1,0 +1,174 @@
+"""Deterministic auction-site (XMark-style) document generator.
+
+The companion paper evaluates on XMark documents; the original XMark
+generator (xmlgen) is a C program we cannot ship, so this module generates a
+structurally reduced auction site with the same shape of data the auction
+queries exercise: a catalogue of items, a set of registered people, open
+auctions with bidder histories, and closed auctions referencing buyers and
+items.  Document size scales linearly with the ``scale`` factor (scale 1.0 is
+roughly 100 kB), mirroring how XMark's scale factor works.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.xmlstream.serializer import escape_text
+
+_ITEM_NOUNS = [
+    "gramophone", "typewriter", "atlas", "telescope", "camera", "sextant",
+    "chronometer", "microscope", "tapestry", "manuscript", "globe", "compass",
+]
+_ADJECTIVES = [
+    "antique", "restored", "rare", "mint", "engraved", "original",
+    "hand-crafted", "signed", "early", "museum-grade",
+]
+_FIRST = ["Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "John", "Edgar"]
+_LAST = ["Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Backus", "Codd"]
+_PAYMENT = ["Creditcard", "Money order", "Personal Check", "Cash"]
+
+
+@dataclass
+class AuctionGenerator:
+    """Configurable generator for auction-site documents.
+
+    ``scale`` multiplies the base counts (items, people, auctions); the
+    individual counts can also be set explicitly.
+    """
+
+    scale: float = 1.0
+    seed: int = 20040831
+    items: int = 0
+    people: int = 0
+    open_auctions: int = 0
+    closed_auctions: int = 0
+    max_bidders: int = 5
+
+    BASE_ITEMS = 120
+    BASE_PEOPLE = 80
+    BASE_OPEN = 60
+    BASE_CLOSED = 40
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise WorkloadError("scale must be positive")
+        if not self.items:
+            self.items = max(1, int(self.BASE_ITEMS * self.scale))
+        if not self.people:
+            self.people = max(1, int(self.BASE_PEOPLE * self.scale))
+        if not self.open_auctions:
+            self.open_auctions = max(1, int(self.BASE_OPEN * self.scale))
+        if not self.closed_auctions:
+            self.closed_auctions = max(1, int(self.BASE_CLOSED * self.scale))
+
+    # ---------------------------------------------------------- generation
+
+    def generate(self) -> str:
+        """Generate the document and return it as an XML string."""
+        sink = io.StringIO()
+        self.write(sink)
+        return sink.getvalue()
+
+    def write(self, sink: io.TextIOBase) -> int:
+        """Write the document to ``sink``; returns the number of characters."""
+        rng = random.Random(self.seed)
+        written = 0
+
+        def emit(text: str) -> None:
+            nonlocal written
+            sink.write(text)
+            written += len(text)
+
+        emit("<site>")
+        emit("<regions>")
+        for index in range(self.items):
+            emit(self._item(rng, index))
+        emit("</regions>")
+        emit("<people>")
+        for index in range(self.people):
+            emit(self._person(rng, index))
+        emit("</people>")
+        emit("<open_auctions>")
+        for index in range(self.open_auctions):
+            emit(self._open_auction(rng, index))
+        emit("</open_auctions>")
+        emit("<closed_auctions>")
+        for index in range(self.closed_auctions):
+            emit(self._closed_auction(rng, index))
+        emit("</closed_auctions>")
+        emit("</site>")
+        return written
+
+    # -------------------------------------------------------------- pieces
+
+    def _item(self, rng: random.Random, index: int) -> str:
+        name = f"{rng.choice(_ADJECTIVES)} {rng.choice(_ITEM_NOUNS)}"
+        description = (
+            f"A {rng.choice(_ADJECTIVES)} {rng.choice(_ITEM_NOUNS)} in "
+            f"{rng.choice(['excellent', 'good', 'fair'])} condition, lot {index}."
+        )
+        return (
+            f'<item id="item{index}">'
+            f"<name>{escape_text(name)}</name>"
+            f"<description>{escape_text(description)}</description>"
+            f"<quantity>{rng.randint(1, 10)}</quantity>"
+            f"<payment>{escape_text(rng.choice(_PAYMENT))}</payment>"
+            f"</item>"
+        )
+
+    def _person(self, rng: random.Random, index: int) -> str:
+        first = rng.choice(_FIRST)
+        last = rng.choice(_LAST)
+        optional = ""
+        if rng.random() < 0.6:
+            optional += f"<phone>+43 1 {rng.randint(1000000, 9999999)}</phone>"
+        if rng.random() < 0.4:
+            optional += f"<creditcard>{rng.randint(1000, 9999)} {rng.randint(1000, 9999)}</creditcard>"
+        return (
+            f'<person id="person{index}">'
+            f"<name>{escape_text(first + ' ' + last)}</name>"
+            f"<emailaddress>{first.lower()}.{last.lower()}@example.org</emailaddress>"
+            f"{optional}"
+            f"</person>"
+        )
+
+    def _open_auction(self, rng: random.Random, index: int) -> str:
+        initial = rng.randint(5, 200)
+        bidders: List[str] = []
+        current = initial
+        for _ in range(rng.randint(0, self.max_bidders)):
+            increase = rng.randint(1, 50)
+            current += increase
+            bidders.append(
+                f"<bidder><date>2004-0{rng.randint(1, 9)}-{rng.randint(10, 28)}</date>"
+                f"<increase>{increase}</increase></bidder>"
+            )
+        return (
+            f'<open_auction id="auction{index}">'
+            f"<initial>{initial}.00</initial>"
+            f"{''.join(bidders)}"
+            f"<current>{current}.00</current>"
+            f'<itemref item="item{rng.randrange(self.items)}"/>'
+            f'<seller person="person{rng.randrange(self.people)}"/>'
+            f"</open_auction>"
+        )
+
+    def _closed_auction(self, rng: random.Random, index: int) -> str:
+        return (
+            f"<closed_auction>"
+            f'<seller person="person{rng.randrange(self.people)}"/>'
+            f'<buyer person="person{rng.randrange(self.people)}"/>'
+            f'<itemref item="item{rng.randrange(self.items)}"/>'
+            f"<price>{rng.randint(10, 500)}.00</price>"
+            f"<date>2004-0{rng.randint(1, 9)}-{rng.randint(10, 28)}</date>"
+            f"</closed_auction>"
+        )
+
+
+def generate_auction_site(scale: float = 1.0, seed: int = 20040831) -> str:
+    """Convenience wrapper returning an auction document as a string."""
+    return AuctionGenerator(scale=scale, seed=seed).generate()

@@ -1,0 +1,57 @@
+"""Streaming XML substrate.
+
+This package provides the event model, a hand-written streaming parser, an
+in-memory tree representation, and a serializer.  It is the foundation both
+for the streamed FluX runtime (which consumes events) and for the baseline
+engines (which materialize trees).
+
+Public API
+----------
+
+* :class:`~repro.xmlstream.events.Event` and its concrete subclasses
+  (:class:`StartDocument`, :class:`EndDocument`, :class:`StartElement`,
+  :class:`EndElement`, :class:`Text`).
+* :func:`~repro.xmlstream.parser.parse_events` — lazily yield events from an
+  XML string or file-like object.
+* :class:`~repro.xmlstream.tree.XMLElement` / :class:`XMLText` and
+  :func:`~repro.xmlstream.tree.parse_tree` — materialized documents.
+* :func:`~repro.xmlstream.serializer.serialize_tree` /
+  :func:`serialize_events` — turn trees or event streams back into text.
+"""
+
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlstream.parser import StreamingXMLParser, parse_events
+from repro.xmlstream.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize_events,
+    serialize_tree,
+)
+from repro.xmlstream.tree import XMLElement, XMLText, build_tree, parse_tree, tree_to_events
+
+__all__ = [
+    "Event",
+    "StartDocument",
+    "EndDocument",
+    "StartElement",
+    "EndElement",
+    "Text",
+    "StreamingXMLParser",
+    "parse_events",
+    "XMLElement",
+    "XMLText",
+    "build_tree",
+    "parse_tree",
+    "tree_to_events",
+    "serialize_tree",
+    "serialize_events",
+    "escape_text",
+    "escape_attribute",
+]

@@ -1,0 +1,119 @@
+"""SAX-style event model for streaming XML.
+
+The streaming parser (:mod:`repro.xmlstream.parser`) produces instances of the
+classes defined here; the FluX runtime, the DTD validator and the XSAX parser
+all operate on this event vocabulary.  Events are small immutable value
+objects so they can be freely shared, compared in tests, and replayed.
+
+The XSAX parser of the paper extends the vocabulary with *on-first* events;
+that extension lives in :mod:`repro.runtime.xsax` because it depends on the
+DTD machinery, not on raw XML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for all streaming events."""
+
+    __slots__ = ()
+
+    def size_estimate(self) -> int:
+        """Return the approximate number of bytes this event represents.
+
+        Used by the buffer manager for memory accounting.  Structural events
+        cost a small constant; text costs its length.
+        """
+        return 8
+
+
+@dataclass(frozen=True)
+class StartDocument(Event):
+    """Emitted once, before any other event."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class EndDocument(Event):
+    """Emitted once, after the root element has been closed."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class StartElement(Event):
+    """Opening tag of an element.
+
+    Attributes are stored as a tuple of ``(name, value)`` pairs so the event
+    stays hashable; :attr:`attributes` exposes them as a dict.
+    """
+
+    name: str
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def attributes(self) -> Dict[str, str]:
+        """Attributes of the element as a plain dictionary."""
+        return dict(self.attrs)
+
+    def size_estimate(self) -> int:
+        attr_bytes = sum(len(k) + len(v) + 4 for k, v in self.attrs)
+        return 16 + len(self.name) + attr_bytes
+
+
+@dataclass(frozen=True)
+class EndElement(Event):
+    """Closing tag of an element."""
+
+    name: str
+
+    def size_estimate(self) -> int:
+        return 8 + len(self.name)
+
+
+@dataclass(frozen=True)
+class Text(Event):
+    """Character data between tags.
+
+    The parser strips pure-whitespace runs between elements by default (they
+    carry no information for the data-oriented documents the paper targets)
+    but preserves whitespace inside mixed content.
+    """
+
+    text: str
+
+    def size_estimate(self) -> int:
+        return len(self.text)
+
+
+def element_events(name: str, attrs: Dict[str, str], body: Iterable[Event]) -> Iterator[Event]:
+    """Wrap ``body`` events in a ``StartElement``/``EndElement`` pair.
+
+    Convenience used by constructors in the runtime and by tests.
+    """
+    yield StartElement(name, tuple(sorted(attrs.items())) if attrs else ())
+    for event in body:
+        yield event
+    yield EndElement(name)
+
+
+def events_depth_ok(events: Iterable[Event]) -> bool:
+    """Return ``True`` when start/end tags in ``events`` are balanced.
+
+    This is a structural sanity check used by tests and by the serializer's
+    strict mode; it does not validate against any schema.
+    """
+    stack: List[str] = []
+    for event in events:
+        if isinstance(event, StartElement):
+            stack.append(event.name)
+        elif isinstance(event, EndElement):
+            if not stack or stack[-1] != event.name:
+                return False
+            stack.pop()
+    return not stack

@@ -1,0 +1,410 @@
+"""Hand-written streaming XML parser.
+
+The parser produces the event vocabulary of :mod:`repro.xmlstream.events`
+lazily, one event at a time, without ever materializing the document.  It is
+deliberately self-contained (no :mod:`xml.sax`) so the whole stack — from
+bytes to query results — is implemented in this repository, and so the
+benchmarks measure a single, consistent parsing substrate for every engine.
+
+Supported XML subset
+--------------------
+
+* elements, attributes (single- or double-quoted), character data,
+* the five predefined entities plus decimal/hexadecimal character references,
+* comments, processing instructions, CDATA sections, and the XML declaration
+  (all skipped, CDATA contributing its literal text),
+* an optional ``<!DOCTYPE ...>`` whose *internal subset* is captured verbatim
+  on the parser instance (:attr:`StreamingXMLParser.doctype_internal_subset`)
+  so documents can carry their own DTD,
+* whitespace-only text between elements is dropped unless
+  ``keep_whitespace=True``.
+
+Out of scope (as for the paper): namespaces, external entities, and DTD-driven
+attribute defaulting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+def resolve_entities(text: str, offset: int = 0) -> str:
+    """Replace entity and character references in ``text``.
+
+    ``offset`` is only used to report useful positions in error messages.
+    """
+    if "&" not in text:
+        return text
+    parts: List[str] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        amp = text.find("&", i)
+        if amp < 0:
+            parts.append(text[i:])
+            break
+        parts.append(text[i:amp])
+        semi = text.find(";", amp + 1)
+        if semi < 0:
+            raise XMLSyntaxError("unterminated entity reference", offset + amp)
+        name = text[amp + 1 : semi]
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                parts.append(chr(int(name[2:], 16)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", offset + amp) from exc
+        elif name.startswith("#"):
+            try:
+                parts.append(chr(int(name[1:], 10)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{name};", offset + amp) from exc
+        elif name in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(f"unknown entity &{name};", offset + amp)
+        i = semi + 1
+    return "".join(parts)
+
+
+class StreamingXMLParser:
+    """Incremental XML parser yielding :class:`~repro.xmlstream.events.Event`.
+
+    The parser reads from a string or a text file-like object.  File-like
+    input is read in chunks so that arbitrarily large documents can be
+    processed with bounded parser-side memory; only the engines' explicit
+    buffers decide how much of the document is retained.
+
+    Parameters
+    ----------
+    source:
+        XML text, or a file-like object with a ``read(size)`` method.
+    keep_whitespace:
+        When ``True``, whitespace-only character data between elements is
+        reported as :class:`Text` events instead of being dropped.
+    chunk_size:
+        Read granularity for file-like sources.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, io.TextIOBase],
+        keep_whitespace: bool = False,
+        chunk_size: int = 1 << 16,
+    ):
+        if isinstance(source, str):
+            self._reader = None
+            self._buffer = source
+            self._eof = True
+        else:
+            self._reader = source
+            self._buffer = ""
+            self._eof = False
+        self._pos = 0
+        self._consumed = 0
+        self._chunk_size = chunk_size
+        self._keep_whitespace = keep_whitespace
+        self.doctype_internal_subset: Optional[str] = None
+        self.doctype_name: Optional[str] = None
+
+    # ------------------------------------------------------------------ I/O
+
+    def _fill(self, need: int = 1) -> None:
+        """Ensure at least ``need`` unread characters are buffered (or EOF).
+
+        Filling never shifts existing buffer indices; the consumed prefix is
+        dropped separately by :meth:`_compact` at safe points of the main
+        loop, so in-flight index arithmetic stays valid.
+        """
+        while not self._eof and len(self._buffer) - self._pos < need:
+            chunk = self._reader.read(self._chunk_size)
+            if not chunk:
+                self._eof = True
+                break
+            self._buffer += chunk
+
+    def _compact(self) -> None:
+        """Drop the already-consumed buffer prefix to keep memory bounded."""
+        if self._pos > 0:
+            self._consumed += self._pos
+            self._buffer = self._buffer[self._pos :]
+            self._pos = 0
+
+    def _find(self, needle: str, start: int) -> int:
+        """Find ``needle`` at/after buffer index ``start``, filling as needed."""
+        while True:
+            idx = self._buffer.find(needle, start)
+            if idx >= 0:
+                return idx
+            if self._eof:
+                return -1
+            search_from = max(start, len(self._buffer) - len(needle) + 1)
+            self._fill(len(self._buffer) - self._pos + self._chunk_size)
+            start = search_from
+
+    def _offset(self, buffer_index: int) -> int:
+        """Absolute character offset of a buffer index, for error messages."""
+        return self._consumed + buffer_index
+
+    # ------------------------------------------------------------ main loop
+
+    def events(self) -> Iterator[Event]:
+        """Yield the event stream for the whole document."""
+        yield StartDocument()
+        depth = 0
+        saw_root = False
+        text_parts: List[str] = []
+
+        while True:
+            self._compact()
+            self._fill(1)
+            if self._pos >= len(self._buffer):
+                break
+            lt = self._find("<", self._pos)
+            if lt < 0:
+                # Trailing character data after the last tag.
+                text_parts.append(self._buffer[self._pos :])
+                self._pos = len(self._buffer)
+                break
+            if lt > self._pos:
+                text_parts.append(self._buffer[self._pos : lt])
+                self._pos = lt
+            flushed = self._flush_text(text_parts, depth)
+            if flushed is not None:
+                yield flushed
+            event, closed = self._parse_markup()
+            if event is None:
+                continue
+            if isinstance(event, StartElement):
+                if depth == 0 and saw_root:
+                    raise XMLSyntaxError(
+                        "multiple root elements", self._offset(self._pos)
+                    )
+                saw_root = True
+                yield event
+                if closed:
+                    yield EndElement(event.name)
+                else:
+                    depth += 1
+            elif isinstance(event, EndElement):
+                depth -= 1
+                if depth < 0:
+                    raise XMLSyntaxError(
+                        f"unexpected closing tag </{event.name}>", self._offset(self._pos)
+                    )
+                yield event
+            else:  # pragma: no cover - defensive
+                yield event
+
+        flushed = self._flush_text(text_parts, depth)
+        if flushed is not None and depth > 0:
+            yield flushed
+        if depth != 0:
+            raise XMLSyntaxError("unexpected end of document: unclosed elements")
+        if not saw_root:
+            raise XMLSyntaxError("document has no root element")
+        yield EndDocument()
+
+    __iter__ = events
+
+    # ------------------------------------------------------------- helpers
+
+    def _flush_text(self, parts: List[str], depth: int) -> Optional[Text]:
+        if not parts:
+            return None
+        raw = "".join(parts)
+        parts.clear()
+        if depth == 0:
+            if raw.strip():
+                raise XMLSyntaxError("character data outside the root element")
+            return None
+        if not self._keep_whitespace and not raw.strip():
+            return None
+        return Text(resolve_entities(raw))
+
+    def _parse_markup(self) -> Tuple[Optional[Event], bool]:
+        """Parse one markup construct starting at ``<``.
+
+        Returns ``(event, self_closed)``; ``event`` is ``None`` for skipped
+        constructs (comments, PIs, doctype, XML declaration).
+        """
+        self._fill(4)
+        buf = self._buffer
+        pos = self._pos
+        if buf.startswith("<!--", pos):
+            end = self._find("-->", pos + 4)
+            if end < 0:
+                raise XMLSyntaxError("unterminated comment", self._offset(pos))
+            self._pos = end + 3
+            return None, False
+        if buf.startswith("<![CDATA[", pos):
+            end = self._find("]]>", pos + 9)
+            if end < 0:
+                raise XMLSyntaxError("unterminated CDATA section", self._offset(pos))
+            text = self._buffer[pos + 9 : end]
+            self._pos = end + 3
+            return (Text(text) if text else None), False
+        if buf.startswith("<?", pos):
+            end = self._find("?>", pos + 2)
+            if end < 0:
+                raise XMLSyntaxError("unterminated processing instruction", self._offset(pos))
+            self._pos = end + 2
+            return None, False
+        if buf.startswith("<!DOCTYPE", pos):
+            self._parse_doctype(pos)
+            return None, False
+        if buf.startswith("</", pos):
+            end = self._find(">", pos + 2)
+            if end < 0:
+                raise XMLSyntaxError("unterminated closing tag", self._offset(pos))
+            name = self._buffer[pos + 2 : end].strip()
+            if not name:
+                raise XMLSyntaxError("empty closing tag", self._offset(pos))
+            self._pos = end + 1
+            return EndElement(name), False
+        return self._parse_start_tag(pos)
+
+    def _parse_doctype(self, pos: int) -> None:
+        """Consume a DOCTYPE declaration, capturing its internal subset."""
+        # Find the end of the declaration, honouring an optional [...] subset.
+        i = pos + len("<!DOCTYPE")
+        subset_start = -1
+        subset_end = -1
+        while True:
+            self._fill(len(self._buffer) - self._pos + 1)
+            buf = self._buffer
+            if i >= len(buf):
+                if self._eof:
+                    raise XMLSyntaxError("unterminated DOCTYPE", self._offset(pos))
+                continue
+            ch = buf[i]
+            if ch == "[" and subset_start < 0:
+                subset_start = i + 1
+                close = self._find("]", i + 1)
+                if close < 0:
+                    raise XMLSyntaxError("unterminated DOCTYPE internal subset", self._offset(pos))
+                subset_end = close
+                i = close + 1
+                continue
+            if ch == ">":
+                break
+            i += 1
+        header = self._buffer[pos + len("<!DOCTYPE") : (subset_start - 1 if subset_start > 0 else i)]
+        name = header.strip().split()[0] if header.strip() else None
+        self.doctype_name = name
+        if subset_start >= 0:
+            self.doctype_internal_subset = self._buffer[subset_start:subset_end]
+        self._pos = i + 1
+
+    def _parse_start_tag(self, pos: int) -> Tuple[StartElement, bool]:
+        end = self._find(">", pos + 1)
+        if end < 0:
+            raise XMLSyntaxError("unterminated start tag", self._offset(pos))
+        # Attribute values may legally contain ">", but the documents this
+        # library targets (and produces) escape it; we accept the restriction.
+        raw = self._buffer[pos + 1 : end]
+        self._pos = end + 1
+        self_closed = raw.endswith("/")
+        if self_closed:
+            raw = raw[:-1]
+        raw = raw.strip()
+        if not raw:
+            raise XMLSyntaxError("empty start tag", self._offset(pos))
+        name, attrs = self._parse_tag_content(raw, pos)
+        return StartElement(name, attrs), self_closed
+
+    def _parse_tag_content(
+        self, raw: str, pos: int
+    ) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        i = 0
+        length = len(raw)
+        if not _is_name_start(raw[0]):
+            raise XMLSyntaxError(f"invalid element name in <{raw}>", self._offset(pos))
+        while i < length and _is_name_char(raw[i]):
+            i += 1
+        name = raw[:i]
+        attrs: List[Tuple[str, str]] = []
+        while i < length:
+            while i < length and raw[i].isspace():
+                i += 1
+            if i >= length:
+                break
+            start = i
+            while i < length and _is_name_char(raw[i]):
+                i += 1
+            attr_name = raw[start:i]
+            if not attr_name:
+                raise XMLSyntaxError(f"malformed attribute in <{raw}>", self._offset(pos))
+            while i < length and raw[i].isspace():
+                i += 1
+            if i >= length or raw[i] != "=":
+                raise XMLSyntaxError(
+                    f"attribute {attr_name!r} is missing a value", self._offset(pos)
+                )
+            i += 1
+            while i < length and raw[i].isspace():
+                i += 1
+            if i >= length or raw[i] not in "\"'":
+                raise XMLSyntaxError(
+                    f"attribute {attr_name!r} value must be quoted", self._offset(pos)
+                )
+            quote = raw[i]
+            i += 1
+            value_end = raw.find(quote, i)
+            if value_end < 0:
+                raise XMLSyntaxError(
+                    f"unterminated value for attribute {attr_name!r}", self._offset(pos)
+                )
+            attrs.append((attr_name, resolve_entities(raw[i:value_end])))
+            i = value_end + 1
+        return name, tuple(attrs)
+
+
+def parse_events(
+    source: Union[str, io.TextIOBase], keep_whitespace: bool = False
+) -> Iterator[Event]:
+    """Yield streaming events for ``source`` (string or text file object)."""
+    return StreamingXMLParser(source, keep_whitespace=keep_whitespace).events()
+
+
+def parse_events_with_dtd(
+    source: Union[str, io.TextIOBase], keep_whitespace: bool = False
+) -> Tuple[Iterable[Event], StreamingXMLParser]:
+    """Return ``(events, parser)`` so callers can inspect the DOCTYPE subset.
+
+    The DOCTYPE is only available once parsing has progressed past the
+    prolog; callers typically consume the first event (``StartDocument``)
+    plus the root ``StartElement`` before reading
+    :attr:`StreamingXMLParser.doctype_internal_subset`.
+    """
+    parser = StreamingXMLParser(source, keep_whitespace=keep_whitespace)
+    return parser.events(), parser

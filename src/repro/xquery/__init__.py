@@ -1,0 +1,75 @@
+"""XQuery substrate: AST, parser, static analysis, and tree evaluation.
+
+This package implements the XQuery fragment FluXQuery supports (Section 4 of
+the paper): arbitrarily nested for-loops and joins, where-clauses, element
+constructors, child/attribute/text paths, let-bindings and conditionals —
+but no aggregation.
+
+The parser produces the AST of :mod:`repro.xquery.ast`; the optimizer in
+:mod:`repro.core` rewrites that AST; and :mod:`repro.xquery.evaluator`
+provides the reference tree-at-a-time evaluation used by the baseline engines
+and by buffered sub-expressions inside the FluX runtime.
+"""
+
+from repro.xquery.ast import (
+    AndExpr,
+    AttributeStep,
+    ChildStep,
+    Comparison,
+    DescendantStep,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    FunctionCall,
+    IfExpr,
+    LetExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SequenceExpr,
+    Step,
+    TextStep,
+    VarRef,
+    XQueryExpr,
+)
+from repro.xquery.parser import parse_xquery
+from repro.xquery.analysis import (
+    child_label_dependencies,
+    free_variables,
+    fresh_variable,
+    substitute_variable,
+    variable_element_types,
+)
+from repro.xquery.evaluator import TreeEvaluator, evaluate_query_on_tree
+
+__all__ = [
+    "XQueryExpr",
+    "SequenceExpr",
+    "EmptySequence",
+    "Literal",
+    "VarRef",
+    "PathExpr",
+    "Step",
+    "ChildStep",
+    "DescendantStep",
+    "AttributeStep",
+    "TextStep",
+    "ForExpr",
+    "LetExpr",
+    "IfExpr",
+    "ElementConstructor",
+    "Comparison",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "FunctionCall",
+    "parse_xquery",
+    "free_variables",
+    "child_label_dependencies",
+    "substitute_variable",
+    "fresh_variable",
+    "variable_element_types",
+    "TreeEvaluator",
+    "evaluate_query_on_tree",
+]

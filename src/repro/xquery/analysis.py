@@ -1,0 +1,313 @@
+"""Static analysis over XQuery ASTs.
+
+The optimizer and the FluX scheduler need a handful of classical analyses:
+
+* :func:`free_variables` — which variables an expression references but does
+  not bind;
+* :func:`substitute_variable` — capture-avoiding substitution, used to
+  eliminate ``let`` bindings during normalization;
+* :func:`child_label_dependencies` — for a given stream variable, which child
+  labels (first path steps) an expression touches; this is the ``dep`` set of
+  the scheduling algorithm and the basis of the buffer description forest;
+* :func:`variable_element_types` — a static type environment mapping each
+  loop variable to the DTD element type it ranges over, which is what makes
+  cardinality/order/co-occurrence constraints applicable to paths.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.dtd.schema import DTD
+from repro.xquery.ast import (
+    AndExpr,
+    AttributeStep,
+    ChildStep,
+    Comparison,
+    DescendantStep,
+    DOCUMENT_VARIABLE,
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    FunctionCall,
+    IfExpr,
+    LetExpr,
+    Literal,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    SequenceExpr,
+    TextStep,
+    VarRef,
+    XQueryExpr,
+)
+
+#: Marker meaning "the whole subtree of the variable is needed" (e.g. the
+#: variable is copied to the output, or reached through a descendant step).
+WHOLE_SUBTREE = "*"
+
+#: Pseudo element type of the document node (parent of the root element).
+DOCUMENT_TYPE = "#document"
+
+_fresh_counter = itertools.count(1)
+
+
+def fresh_variable(prefix: str = "v") -> str:
+    """Return a globally fresh variable name (used by rewrites)."""
+    return f"__{prefix}{next(_fresh_counter)}"
+
+
+# ----------------------------------------------------------- free variables
+
+
+def free_variables(expr: XQueryExpr) -> FrozenSet[str]:
+    """Variables referenced by ``expr`` that are not bound within it."""
+    return _free(expr, frozenset())
+
+
+def _free(expr: XQueryExpr, bound: FrozenSet[str]) -> FrozenSet[str]:
+    if isinstance(expr, VarRef):
+        return frozenset() if expr.name in bound else frozenset({expr.name})
+    if isinstance(expr, PathExpr):
+        return frozenset() if expr.var in bound else frozenset({expr.var})
+    if isinstance(expr, ForExpr):
+        result = _free(expr.source, bound)
+        inner_bound = bound | {expr.var}
+        if expr.where is not None:
+            result |= _free(expr.where, inner_bound)
+        return result | _free(expr.body, inner_bound)
+    if isinstance(expr, LetExpr):
+        return _free(expr.value, bound) | _free(expr.body, bound | {expr.var})
+    result: FrozenSet[str] = frozenset()
+    for child in expr.children():
+        result |= _free(child, bound)
+    return result
+
+
+# ------------------------------------------------------------- substitution
+
+
+def substitute_variable(expr: XQueryExpr, var: str, replacement: XQueryExpr) -> XQueryExpr:
+    """Replace free occurrences of ``$var`` in ``expr`` by ``replacement``.
+
+    Substitution into a :class:`PathExpr` rooted at ``$var`` is supported when
+    the replacement is itself a variable or a path (the path is re-rooted);
+    other replacements under a path raise ``ValueError`` — the normal-form
+    pass only ever substitutes variables and paths.
+    """
+    if isinstance(expr, VarRef):
+        return replacement if expr.name == var else expr
+    if isinstance(expr, PathExpr):
+        if expr.var != var:
+            return expr
+        if isinstance(replacement, VarRef):
+            return PathExpr(replacement.name, expr.steps)
+        if isinstance(replacement, PathExpr):
+            return PathExpr(replacement.var, replacement.steps + expr.steps)
+        raise ValueError(
+            f"cannot substitute {replacement!r} into a path rooted at ${var}"
+        )
+    if isinstance(expr, ForExpr):
+        source = substitute_variable(expr.source, var, replacement)
+        if expr.var == var:
+            return ForExpr(expr.var, source, expr.body, expr.where)
+        where = (
+            substitute_variable(expr.where, var, replacement)
+            if expr.where is not None
+            else None
+        )
+        return ForExpr(expr.var, source, substitute_variable(expr.body, var, replacement), where)
+    if isinstance(expr, LetExpr):
+        value = substitute_variable(expr.value, var, replacement)
+        if expr.var == var:
+            return LetExpr(expr.var, value, expr.body)
+        return LetExpr(expr.var, value, substitute_variable(expr.body, var, replacement))
+    if isinstance(expr, SequenceExpr):
+        return SequenceExpr(
+            tuple(substitute_variable(item, var, replacement) for item in expr.items)
+        )
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            substitute_variable(expr.condition, var, replacement),
+            substitute_variable(expr.then_branch, var, replacement),
+            substitute_variable(expr.else_branch, var, replacement),
+        )
+    if isinstance(expr, ElementConstructor):
+        return ElementConstructor(
+            expr.name, expr.attributes, substitute_variable(expr.content, var, replacement)
+        )
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op,
+            substitute_variable(expr.left, var, replacement),
+            substitute_variable(expr.right, var, replacement),
+        )
+    if isinstance(expr, AndExpr):
+        return AndExpr(
+            tuple(substitute_variable(operand, var, replacement) for operand in expr.operands)
+        )
+    if isinstance(expr, OrExpr):
+        return OrExpr(
+            tuple(substitute_variable(operand, var, replacement) for operand in expr.operands)
+        )
+    if isinstance(expr, NotExpr):
+        return NotExpr(substitute_variable(expr.operand, var, replacement))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            tuple(substitute_variable(argument, var, replacement) for argument in expr.arguments),
+        )
+    return expr
+
+
+# ----------------------------------------------------- child-label analysis
+
+
+def child_label_dependencies(expr: XQueryExpr, var: str) -> FrozenSet[str]:
+    """The ``dep`` set of the scheduling algorithm.
+
+    Returns the set of child labels of ``$var`` that ``expr`` reads:
+
+    * a path ``$var/l/...`` contributes ``l``;
+    * ``$var`` itself (a bare variable reference), ``$var//...``,
+      ``$var/*``, or ``$var/text()`` contribute the :data:`WHOLE_SUBTREE`
+      marker (the entire element is needed);
+    * attribute-only access ``$var/@a`` contributes nothing — attributes are
+      available from the start tag and never require buffering.
+
+    Bindings that shadow ``var`` (an inner ``for``/``let`` re-using the same
+    name) are respected.
+    """
+    result: Set[str] = set()
+    _collect_deps(expr, var, result)
+    if WHOLE_SUBTREE in result:
+        return frozenset({WHOLE_SUBTREE})
+    return frozenset(result)
+
+
+def _collect_deps(expr: XQueryExpr, var: str, out: Set[str]) -> None:
+    if isinstance(expr, VarRef):
+        if expr.name == var:
+            out.add(WHOLE_SUBTREE)
+        return
+    if isinstance(expr, PathExpr):
+        if expr.var != var:
+            return
+        if not expr.steps:
+            out.add(WHOLE_SUBTREE)
+            return
+        first = expr.steps[0]
+        if isinstance(first, AttributeStep):
+            return
+        if isinstance(first, ChildStep) and first.name != "*":
+            out.add(first.name)
+            return
+        # Descendant, wildcard or text() as the first step: whole subtree.
+        out.add(WHOLE_SUBTREE)
+        return
+    if isinstance(expr, ForExpr):
+        _collect_deps(expr.source, var, out)
+        if expr.var == var:
+            return
+        if expr.where is not None:
+            _collect_deps(expr.where, var, out)
+        _collect_deps(expr.body, var, out)
+        return
+    if isinstance(expr, LetExpr):
+        _collect_deps(expr.value, var, out)
+        if expr.var == var:
+            return
+        _collect_deps(expr.body, var, out)
+        return
+    for child in expr.children():
+        _collect_deps(child, var, out)
+
+
+def depends_on_variable(expr: XQueryExpr, var: str) -> bool:
+    """Whether ``expr`` references ``$var`` (its children, attributes, or the
+    node itself)."""
+    return var in free_variables(expr)
+
+
+def depends_on_children(expr: XQueryExpr, var: str) -> bool:
+    """Whether ``expr`` needs anything from ``$var``'s *content* (child
+    elements, text, or the whole subtree) — attribute access does not count."""
+    return bool(child_label_dependencies(expr, var))
+
+
+# ------------------------------------------------------------ element types
+
+
+def variable_element_types(
+    expr: XQueryExpr, dtd: Optional[DTD], initial: Optional[Dict[str, str]] = None
+) -> Dict[str, str]:
+    """Infer the DTD element type each variable ranges over.
+
+    The document variable ``$ROOT`` has the pseudo-type
+    :data:`DOCUMENT_TYPE`; a loop ``for $x in $y/a/b`` gives ``$x`` the type
+    ``b`` (the last child step).  Variables whose type cannot be determined
+    statically (descendant steps, wildcard steps, joins through ``let``) are
+    omitted from the result, which makes every constraint lookup on them
+    conservatively fail.
+    """
+    types: Dict[str, str] = dict(initial or {})
+    types.setdefault(DOCUMENT_VARIABLE, DOCUMENT_TYPE)
+    _infer_types(expr, types, dtd)
+    return types
+
+
+def _infer_types(expr: XQueryExpr, types: Dict[str, str], dtd: Optional[DTD]) -> None:
+    if isinstance(expr, ForExpr):
+        inferred = _type_of_path(expr.source, types, dtd)
+        if inferred is not None:
+            types[expr.var] = inferred
+        _infer_types(expr.source, types, dtd)
+        if expr.where is not None:
+            _infer_types(expr.where, types, dtd)
+        _infer_types(expr.body, types, dtd)
+        return
+    if isinstance(expr, LetExpr):
+        inferred = _type_of_path(expr.value, types, dtd)
+        if inferred is not None:
+            types[expr.var] = inferred
+        _infer_types(expr.value, types, dtd)
+        _infer_types(expr.body, types, dtd)
+        return
+    for child in expr.children():
+        _infer_types(child, types, dtd)
+
+
+def _type_of_path(
+    expr: XQueryExpr, types: Dict[str, str], dtd: Optional[DTD]
+) -> Optional[str]:
+    if isinstance(expr, VarRef):
+        return types.get(expr.name)
+    if not isinstance(expr, PathExpr):
+        return None
+    current = types.get(expr.var)
+    for step in expr.steps:
+        if isinstance(step, ChildStep) and step.name != "*":
+            current = step.name
+        elif isinstance(step, DescendantStep) and step.name != "*":
+            current = step.name
+        else:
+            return None
+    return current
+
+
+def element_type_children(dtd: Optional[DTD], element_type: Optional[str]) -> FrozenSet[str]:
+    """Child labels the DTD allows under ``element_type``.
+
+    The pseudo-type :data:`DOCUMENT_TYPE` has exactly the root element as its
+    only child.  Unknown types (or a missing DTD) return an empty set, which
+    downstream code treats as "no schema knowledge".
+    """
+    if dtd is None or element_type is None:
+        return frozenset()
+    if element_type == DOCUMENT_TYPE:
+        return frozenset({dtd.root})
+    if not dtd.has_element(element_type):
+        return frozenset()
+    return frozenset(dtd.child_labels(element_type))

@@ -1,0 +1,122 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.workloads.dtds import AUCTION_DTD, BIB_DTD_STRONG, BIB_DTD_WEAK
+from repro.workloads.bibgen import generate_bibliography
+from repro.workloads.xmark import generate_auction_site
+
+#: The DTD of Figure 1 of the paper (flat PCDATA authors), used by tests that
+#: follow the paper's examples literally.
+PAPER_FIGURE1_DTD = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title,(author+|editor+),publisher,price)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+"""
+
+#: The weak DTD of Section 2 of the paper.
+PAPER_WEAK_DTD = """
+<!ELEMENT bib (book)*>
+<!ELEMENT book (title|author)*>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+"""
+
+#: A small hand-written document valid for the Figure 1 DTD.
+PAPER_DOCUMENT = (
+    '<bib>'
+    '<book year="1994"><title>TCP/IP Illustrated</title>'
+    '<author>Stevens</author>'
+    '<publisher>Addison-Wesley</publisher><price>65.95</price></book>'
+    '<book year="2000"><title>Data on the Web</title>'
+    '<author>Abiteboul</author><author>Buneman</author><author>Suciu</author>'
+    '<publisher>Morgan Kaufmann</publisher><price>39.95</price></book>'
+    '<book year="1999"><title>Digital Typography</title>'
+    '<editor>Knuth</editor>'
+    '<publisher>CSLI</publisher><price>50.00</price></book>'
+    '</bib>'
+)
+
+#: A document valid only for the weak DTD (titles and authors interleave).
+PAPER_WEAK_DOCUMENT = (
+    "<bib>"
+    "<book><author>A1</author><title>T1</title><author>A2</author></book>"
+    "<book><title>T2</title><title>T2b</title></book>"
+    "<book></book>"
+    "</bib>"
+)
+
+#: The paper's XMP Q3 query (titles and authors of each book, grouped).
+PAPER_Q3 = """
+<results>
+{ for $b in $ROOT/bib/book return
+  <result> { $b/title } { $b/author } </result> }
+</results>
+"""
+
+
+@pytest.fixture
+def paper_dtd():
+    """Parsed Figure 1 DTD."""
+    return parse_dtd(PAPER_FIGURE1_DTD)
+
+
+@pytest.fixture
+def paper_weak_dtd():
+    """Parsed weak DTD of Section 2."""
+    return parse_dtd(PAPER_WEAK_DTD)
+
+
+@pytest.fixture
+def paper_document():
+    return PAPER_DOCUMENT
+
+
+@pytest.fixture
+def paper_weak_document():
+    return PAPER_WEAK_DOCUMENT
+
+
+@pytest.fixture
+def paper_q3():
+    return PAPER_Q3
+
+
+@pytest.fixture(scope="session")
+def bib_dtd_strong():
+    return parse_dtd(BIB_DTD_STRONG)
+
+
+@pytest.fixture(scope="session")
+def bib_dtd_weak():
+    return parse_dtd(BIB_DTD_WEAK)
+
+
+@pytest.fixture(scope="session")
+def auction_dtd():
+    return parse_dtd(AUCTION_DTD)
+
+
+@pytest.fixture(scope="session")
+def small_bibliography():
+    """A deterministic 20-book bibliography conforming to the strong DTD."""
+    return generate_bibliography(num_books=20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_weak_bibliography():
+    """A deterministic 20-book bibliography conforming only to the weak DTD."""
+    return generate_bibliography(num_books=20, seed=7, conform_to="weak")
+
+
+@pytest.fixture(scope="session")
+def small_auction_site():
+    """A deterministic small auction document."""
+    return generate_auction_site(scale=0.1, seed=11)

@@ -1,0 +1,124 @@
+"""Unit tests for the benchmark harness and reporting."""
+
+import pytest
+
+from repro.bench.harness import BenchmarkHarness, Measurement, OutputMismatchError, run_comparison
+from repro.bench.reporting import format_series, format_table, series_by
+from repro.engines.dom_engine import DomEngine
+from repro.engines.flux_engine import FluxEngine
+from repro.engines.projection_engine import ProjectionEngine
+from repro.workloads.dtds import BIB_DTD_STRONG
+from repro.workloads.queries import get_query
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        "flux": FluxEngine(BIB_DTD_STRONG),
+        "projection": ProjectionEngine(BIB_DTD_STRONG),
+        "dom": DomEngine(BIB_DTD_STRONG),
+    }
+
+
+class TestHarness:
+    def test_run_produces_one_row_per_engine(self, engines, small_bibliography):
+        rows = run_comparison(
+            engines, get_query("BIB-Q3").xquery, small_bibliography, "Q3", "bib"
+        )
+        assert len(rows) == 3
+        assert {row.engine for row in rows} == {"flux", "projection", "dom"}
+        assert all(row.document_bytes == len(small_bibliography) for row in rows)
+
+    def test_flux_wins_on_memory(self, engines, small_bibliography):
+        rows = run_comparison(
+            engines, get_query("BIB-Q3").xquery, small_bibliography, "Q3", "bib"
+        )
+        by_engine = {row.engine: row for row in rows}
+        assert (
+            by_engine["flux"].peak_buffer_bytes
+            < by_engine["projection"].peak_buffer_bytes
+            < by_engine["dom"].peak_buffer_bytes
+        )
+
+    def test_output_mismatch_detected(self, small_bibliography):
+        class BrokenEngine(DomEngine):
+            name = "broken"
+
+            def execute(self, query, document):
+                result = super().execute(query, document)
+                result.output += "<!-- tampered -->"
+                return result
+
+        harness = BenchmarkHarness({"dom": DomEngine(), "broken": BrokenEngine()})
+        with pytest.raises(OutputMismatchError):
+            harness.run(get_query("BIB-Q3").xquery, small_bibliography, "Q3", "bib")
+
+    def test_run_matrix(self, engines, small_bibliography):
+        harness = BenchmarkHarness(engines)
+        rows = harness.run_matrix(
+            {"Q3": get_query("BIB-Q3").xquery, "Q4": get_query("BIB-Q4").xquery},
+            {"bib-20": small_bibliography},
+        )
+        assert len(rows) == 6
+        assert len(harness.measurements) == 6
+
+    def test_measurement_helpers(self):
+        measurement = Measurement(
+            engine="flux",
+            query="Q3",
+            document="bib",
+            document_bytes=1000,
+            peak_buffer_bytes=100,
+            elapsed_seconds=0.5,
+            output_bytes=10,
+            events_processed=42,
+        )
+        assert measurement.buffer_fraction == pytest.approx(0.1)
+        assert measurement.as_dict()["engine"] == "flux"
+
+
+class TestReporting:
+    @pytest.fixture
+    def measurements(self):
+        rows = []
+        for engine, memory in [("flux", 10), ("projection", 500), ("dom", 2000)]:
+            for size in (1000, 2000):
+                rows.append(
+                    Measurement(
+                        engine=engine,
+                        query="Q3",
+                        document=f"bib-{size}",
+                        document_bytes=size,
+                        peak_buffer_bytes=memory * size // 1000,
+                        elapsed_seconds=0.001 * size,
+                        output_bytes=size // 2,
+                        events_processed=size,
+                    )
+                )
+        return rows
+
+    def test_format_table_contains_engines_and_values(self, measurements):
+        table = format_table(measurements, metric="peak_buffer_bytes", title="memory")
+        assert "memory" in table
+        assert "flux" in table and "dom" in table
+        assert "B" in table
+
+    def test_format_table_unknown_metric_raises(self, measurements):
+        with pytest.raises(KeyError):
+            format_table(measurements, metric="nonexistent")
+
+    def test_series_by_groups_and_sorts(self, measurements):
+        series = series_by(measurements)
+        assert set(series) == {"flux", "projection", "dom"}
+        assert series["flux"] == sorted(series["flux"])
+        assert len(series["flux"]) == 2
+
+    def test_format_series_table(self, measurements):
+        text = format_series(measurements, title="scaling")
+        assert "scaling" in text
+        assert "document_bytes" in text
+        assert text.count("\n") >= 3
+
+    def test_time_formatting(self, measurements):
+        table = format_table(measurements, metric="elapsed_seconds")
+        assert "s" in table

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import PAPER_DOCUMENT, PAPER_FIGURE1_DTD, PAPER_Q3
+
+
+@pytest.fixture
+def files(tmp_path):
+    query = tmp_path / "query.xq"
+    query.write_text(PAPER_Q3)
+    document = tmp_path / "document.xml"
+    document.write_text(PAPER_DOCUMENT)
+    dtd = tmp_path / "schema.dtd"
+    dtd.write_text(PAPER_FIGURE1_DTD)
+    return {"query": str(query), "document": str(document), "dtd": str(dtd), "dir": tmp_path}
+
+
+class TestRunCommand:
+    def test_run_writes_result_to_stdout(self, files, capsys):
+        exit_code = main(["run", "--query", files["query"], "--input", files["document"],
+                          "--dtd", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.startswith("<results>")
+        assert "peak buffer: 0 B" in captured.err
+
+    def test_run_writes_result_to_file(self, files, capsys):
+        output = files["dir"] / "out.xml"
+        exit_code = main(["run", "-q", files["query"], "-i", files["document"],
+                          "-d", files["dtd"], "-o", str(output)])
+        assert exit_code == 0
+        assert output.read_text().startswith("<results>")
+
+    def test_run_without_dtd(self, files, capsys):
+        exit_code = main(["run", "-q", files["query"], "-i", files["document"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.startswith("<results>")
+
+    def test_run_uses_embedded_doctype(self, files, capsys):
+        document = files["dir"] / "with_doctype.xml"
+        document.write_text(f"<!DOCTYPE bib [{PAPER_FIGURE1_DTD}]>\n{PAPER_DOCUMENT}")
+        exit_code = main(["run", "-q", files["query"], "-i", str(document)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "peak buffer: 0 B" in captured.err
+
+
+class TestExplainCommand:
+    def test_explain_prints_flux_and_bdf(self, files, capsys):
+        exit_code = main(["explain", "-q", files["query"], "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "process-stream" in captured.out
+        assert "Buffer description forest" in captured.out
+        assert "safe" in captured.out
+
+
+class TestCompareCommand:
+    def test_compare_prints_tables(self, files, capsys):
+        exit_code = main(["compare", "-q", files["query"], "-i", files["document"],
+                          "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "peak buffer memory" in captured.out
+        assert "flux" in captured.out and "dom" in captured.out
+
+
+class TestParser:
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_option_errors(self, files):
+        with pytest.raises(SystemExit):
+            main(["run", "--nope", files["query"]])

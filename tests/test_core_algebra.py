@@ -1,0 +1,171 @@
+"""Unit tests for the algebraic optimizer (Section 3.1 of the paper)."""
+
+import pytest
+
+from repro.core.algebra import AlgebraicOptimizer, optimize_query
+from repro.core.normalform import normalize
+from repro.xquery.ast import ForExpr, IfExpr, SequenceExpr, walk
+from repro.xquery.parser import parse_xquery
+from repro.xmlstream.tree import parse_tree
+from repro.xquery.evaluator import evaluate_query_on_tree
+from repro.xmlstream.serializer import serialize_tree
+
+
+def nodes_of_type(expr, node_type):
+    return [node for node in walk(expr) if isinstance(node, node_type)]
+
+
+def optimize(query, dtd, **flags):
+    normalized = normalize(parse_xquery(query))
+    return optimize_query(normalized, dtd, **flags)
+
+
+#: The paper's Section 3.1 example: two consecutive loops over $book/publisher.
+MERGE_QUERY = """
+<out>
+{ for $book in $ROOT/bib/book return
+  <entry>
+    { for $x in $book/publisher return <p1>{ $x }</p1> }
+    { for $x in $book/publisher return <p2>{ $x }</p2> }
+  </entry> }
+</out>
+"""
+
+#: The paper's unsatisfiable conditional (author and editor cannot co-occur).
+UNSAT_QUERY = """
+<out>
+{ for $book in $ROOT/bib/book return
+  if ($book/author = "Goedel" and $book/editor = "Goedel")
+  then <hit>{ $book/title }</hit>
+  else () }
+</out>
+"""
+
+
+class TestLoopMerging:
+    def test_consecutive_publisher_loops_merged(self, paper_dtd):
+        optimized, report = optimize(MERGE_QUERY, paper_dtd)
+        assert report.merged_loops == 1
+        publisher_loops = [
+            loop
+            for loop in nodes_of_type(optimized, ForExpr)
+            if getattr(loop.source, "steps", None)
+            and loop.source.steps[-1].name == "publisher"
+        ]
+        assert len(publisher_loops) == 1
+
+    def test_loops_over_unbounded_label_not_merged(self, paper_dtd):
+        query = """
+        <out>
+        { for $book in $ROOT/bib/book return
+          <entry>
+            { for $x in $book/author return <a1>{ $x }</a1> }
+            { for $x in $book/author return <a2>{ $x }</a2> }
+          </entry> }
+        </out>
+        """
+        optimized, report = optimize(query, paper_dtd)
+        assert report.merged_loops == 0
+
+    def test_merging_disabled_by_flag(self, paper_dtd):
+        _, report = optimize(MERGE_QUERY, paper_dtd, enable_loop_merging=False)
+        assert report.merged_loops == 0
+
+    def test_no_merging_without_dtd(self):
+        _, report = optimize(MERGE_QUERY, None)
+        assert report.merged_loops == 0
+
+    def test_merged_query_produces_same_result(self, paper_dtd, paper_document):
+        tree = parse_tree(paper_document)
+        normalized = normalize(parse_xquery(MERGE_QUERY))
+        optimized, _ = optimize_query(normalized, paper_dtd)
+
+        def render(items):
+            return "".join(serialize_tree(i) if hasattr(i, "tag") else str(i) for i in items)
+
+        assert render(evaluate_query_on_tree(normalized, tree)) == render(
+            evaluate_query_on_tree(optimized, tree)
+        )
+
+    def test_loops_with_different_sources_not_merged(self, paper_dtd):
+        query = """
+        <out>
+        { for $book in $ROOT/bib/book return
+          <entry>
+            { for $x in $book/publisher return <p>{ $x }</p> }
+            { for $x in $book/price return <q>{ $x }</q> }
+          </entry> }
+        </out>
+        """
+        _, report = optimize(query, paper_dtd)
+        assert report.merged_loops == 0
+
+
+class TestConditionalElimination:
+    def test_unsatisfiable_conditional_removed(self, paper_dtd):
+        optimized, report = optimize(UNSAT_QUERY, paper_dtd)
+        assert report.eliminated_conditionals == 1
+        assert not nodes_of_type(optimized, IfExpr)
+
+    def test_satisfiable_conditional_kept(self, paper_dtd):
+        query = """
+        <out>
+        { for $book in $ROOT/bib/book return
+          if ($book/author = "Goedel" and $book/publisher = "X")
+          then <hit/> else () }
+        </out>
+        """
+        optimized, report = optimize(query, paper_dtd)
+        assert report.eliminated_conditionals == 0
+        assert nodes_of_type(optimized, IfExpr)
+
+    def test_condition_on_impossible_label_removed(self, paper_dtd):
+        query = """
+        <out>
+        { for $book in $ROOT/bib/book return
+          if ($book/chapter = "1") then <hit/> else () }
+        </out>
+        """
+        _, report = optimize(query, paper_dtd)
+        assert report.eliminated_conditionals == 1
+
+    def test_elimination_disabled_by_flag(self, paper_dtd):
+        _, report = optimize(UNSAT_QUERY, paper_dtd, enable_conditional_elimination=False)
+        assert report.eliminated_conditionals == 0
+
+    def test_disjunctions_are_not_analyzed(self, paper_dtd):
+        query = """
+        <out>
+        { for $book in $ROOT/bib/book return
+          if ($book/author = "x" or $book/editor = "x") then <hit/> else () }
+        </out>
+        """
+        _, report = optimize(query, paper_dtd)
+        assert report.eliminated_conditionals == 0
+
+    def test_weak_dtd_does_not_allow_elimination(self, paper_weak_dtd):
+        # The Section 2 weak DTD (title|author)* has no editor label at all,
+        # so a condition requiring an editor child can also be eliminated.
+        _, report = optimize(UNSAT_QUERY, paper_weak_dtd)
+        assert report.eliminated_conditionals == 1
+
+    def test_unsatisfiable_query_returns_empty_everywhere(self, paper_dtd, paper_document):
+        tree = parse_tree(paper_document)
+        normalized = normalize(parse_xquery(UNSAT_QUERY))
+        optimized, _ = optimize_query(normalized, paper_dtd)
+        original_items = evaluate_query_on_tree(normalized, tree)
+        optimized_items = evaluate_query_on_tree(optimized, tree)
+        assert serialize_tree(original_items[0]) == serialize_tree(optimized_items[0]) == "<out/>"
+
+
+class TestSimplification:
+    def test_empty_branches_collapse(self, paper_dtd):
+        query = "<out>{ for $b in $ROOT/bib/book return if ($b/chapter = \"1\") then () else () }</out>"
+        optimized, report = optimize(query, paper_dtd)
+        assert not nodes_of_type(optimized, ForExpr)
+        assert report.simplifications >= 1
+
+    def test_report_summary_mentions_counts(self, paper_dtd):
+        _, report = optimize(UNSAT_QUERY, paper_dtd)
+        assert "eliminated conditionals: 1" in report.summary()
+        assert report.notes

@@ -1,0 +1,84 @@
+"""Unit tests for the FluX AST and its pretty-printer."""
+
+import pytest
+
+from repro.core.flux import (
+    FBufferedExpr,
+    FConstructor,
+    FCopyVar,
+    FIf,
+    FluxQuery,
+    FProcessStream,
+    FSequence,
+    FText,
+    OnFirstHandler,
+    OnHandler,
+    flux_sequence,
+    walk_flux,
+)
+from repro.xquery.parser import parse_xquery
+
+
+@pytest.fixture
+def example_stream():
+    return FProcessStream(
+        "book",
+        "book",
+        (
+            OnHandler("title", "t", FCopyVar("t")),
+            OnFirstHandler(
+                frozenset({"title", "author"}),
+                FBufferedExpr(parse_xquery("for $a in $book/author return $a")),
+            ),
+        ),
+    )
+
+
+class TestStructure:
+    def test_handler_accessors(self, example_stream):
+        assert len(example_stream.on_handlers()) == 1
+        assert len(example_stream.on_first_handlers()) == 1
+        assert example_stream.on_handlers()[0].label == "title"
+
+    def test_walk_visits_all_nodes(self, example_stream):
+        body = FConstructor("result", (), example_stream)
+        nodes = list(walk_flux(body))
+        assert any(isinstance(node, FProcessStream) for node in nodes)
+        assert any(isinstance(node, FCopyVar) for node in nodes)
+        assert any(isinstance(node, FBufferedExpr) for node in nodes)
+
+    def test_flux_sequence_flattens(self):
+        sequence = flux_sequence([FText("a"), FSequence((FText("b"), FText("c")))])
+        assert isinstance(sequence, FSequence)
+        assert len(sequence.items) == 3
+
+    def test_flux_sequence_unwraps_singleton(self):
+        assert flux_sequence([FText("only")]) == FText("only")
+
+    def test_process_streams_listing(self, example_stream):
+        query = FluxQuery(FConstructor("r", (), example_stream))
+        assert query.process_streams() == [example_stream]
+
+
+class TestPrettyPrinter:
+    def test_paper_like_rendering(self, example_stream):
+        query = FluxQuery(FConstructor("result", (("kind", "demo"),), example_stream))
+        text = query.to_flux_syntax()
+        assert '<result kind="demo"> {' in text
+        assert "process-stream $book:" in text
+        assert "on title as $t return {" in text
+        assert "on-first past(author,title) return {" in text
+        assert "{ $t }" in text
+
+    def test_if_and_text_rendering(self):
+        body = FIf(
+            parse_xquery('$b/@year > 1991'),
+            FText("recent"),
+            FSequence(()),
+        )
+        text = FluxQuery(body).to_flux_syntax()
+        assert "if ($b/@year > 1991)" in text
+        assert "text 'recent'" in text
+
+    def test_empty_sequence_renders(self):
+        assert "()" in FluxQuery(FSequence(())).to_flux_syntax()

@@ -1,0 +1,132 @@
+"""Unit tests for the normal-form rewriter."""
+
+import pytest
+
+from repro.core.normalform import normalize
+from repro.xquery.ast import (
+    ElementConstructor,
+    EmptySequence,
+    ForExpr,
+    IfExpr,
+    LetExpr,
+    PathExpr,
+    SequenceExpr,
+    VarRef,
+    walk,
+)
+from repro.xquery.parser import parse_xquery
+from repro.xmlstream.tree import parse_tree
+from repro.xquery.evaluator import evaluate_query_on_tree
+from repro.xquery.analysis import free_variables
+
+
+def nodes_of_type(expr, node_type):
+    return [node for node in walk(expr) if isinstance(node, node_type)]
+
+
+class TestLetElimination:
+    def test_simple_let_removed(self):
+        expr = normalize(parse_xquery("let $t := $b/title return <x>{ $t }</x>"))
+        assert not nodes_of_type(expr, LetExpr)
+        assert free_variables(expr) == {"b"}
+
+    def test_let_used_as_path_root(self):
+        expr = normalize(parse_xquery("let $t := $b/author return $t/last"))
+        assert not nodes_of_type(expr, LetExpr)
+        paths = nodes_of_type(expr, PathExpr)
+        assert any([s.name for s in p.steps] == ["author", "last"] for p in paths)
+
+    def test_nested_lets(self):
+        expr = normalize(
+            parse_xquery("let $a := $x/p return let $b := $a/q return $b/r")
+        )
+        assert not nodes_of_type(expr, LetExpr)
+
+    def test_let_of_constructor_kept_when_used_as_root(self):
+        expr = normalize(parse_xquery("let $t := <x/> return $t/y"))
+        assert nodes_of_type(expr, LetExpr)
+
+
+class TestWhereElimination:
+    def test_where_becomes_conditional(self):
+        expr = normalize(
+            parse_xquery("for $b in $x/book where $b/price > 50 return $b/title")
+        )
+        loops = nodes_of_type(expr, ForExpr)
+        assert all(loop.where is None for loop in loops)
+        conditionals = nodes_of_type(expr, IfExpr)
+        assert len(conditionals) == 1
+        assert isinstance(conditionals[0].else_branch, EmptySequence)
+
+
+class TestLoopPathExpansion:
+    def test_multi_step_loop_becomes_nested_loops(self):
+        expr = normalize(parse_xquery("for $b in $ROOT/bib/book return $b/@year"))
+        loops = nodes_of_type(expr, ForExpr)
+        # One hop loop over bib plus the original loop over book (the
+        # attribute path in output position is also wrapped).
+        sources = [loop.source for loop in loops if isinstance(loop.source, PathExpr)]
+        assert any(len(source.steps) == 1 and source.steps[0].name == "bib" for source in sources)
+        assert all(
+            len(source.steps) == 1
+            for source in sources
+            if source.var != "b"
+        )
+
+    def test_single_step_loop_unchanged(self):
+        expr = normalize(parse_xquery("for $t in $b/title return $t"))
+        loops = nodes_of_type(expr, ForExpr)
+        assert len(loops) == 1
+
+    def test_descendant_source_not_expanded(self):
+        expr = normalize(parse_xquery("for $a in $ROOT//author return $a"))
+        loops = nodes_of_type(expr, ForExpr)
+        assert len(loops) == 1
+
+
+class TestOutputPathWrapping:
+    def test_bare_output_path_wrapped_in_loop(self):
+        expr = normalize(parse_xquery("<x>{ $b/title }</x>"))
+        loops = nodes_of_type(expr, ForExpr)
+        assert len(loops) == 1
+        assert isinstance(loops[0].body, VarRef)
+
+    def test_condition_paths_not_wrapped(self):
+        expr = normalize(parse_xquery('if ($b/price > 3) then "x" else "y"'))
+        assert not nodes_of_type(expr, ForExpr)
+
+    def test_comparison_operands_not_wrapped(self):
+        expr = normalize(parse_xquery("$b/price > 3"))
+        assert not nodes_of_type(expr, ForExpr)
+
+
+class TestSemanticsPreservation:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "for $b in $ROOT/bib/book where $b/price > 50 return $b/title",
+            "let $books := $ROOT/bib/book return <x>{ $books/title }</x>",
+            "<results>{ for $b in $ROOT/bib/book return <r>{ $b/title }{ $b/author }</r> }</results>",
+            'for $b in $ROOT/bib/book where $b/@year = "2000" return <hit>{ $b/title }</hit>',
+        ],
+    )
+    def test_normalized_query_gives_same_result(self, query, paper_document):
+        tree = parse_tree(paper_document)
+        original = parse_xquery(query)
+        normalized = normalize(original)
+
+        def render(items):
+            from repro.xmlstream.serializer import serialize_tree
+
+            return "".join(
+                serialize_tree(item) if hasattr(item, "tag") else str(item) for item in items
+            )
+
+        assert render(evaluate_query_on_tree(original, tree)) == render(
+            evaluate_query_on_tree(normalized, tree)
+        )
+
+    def test_normalization_is_idempotent(self, paper_q3):
+        once = normalize(parse_xquery(paper_q3))
+        twice = normalize(once)
+        assert once == twice

@@ -1,0 +1,88 @@
+"""Unit tests for the end-to-end optimizer pipeline."""
+
+import pytest
+
+from repro.core.optimizer import OptimizerPipeline, compile_xquery
+from repro.errors import XQuerySyntaxError
+
+
+class TestPipeline:
+    def test_compile_returns_all_stages(self, paper_dtd, paper_q3):
+        result = compile_xquery(paper_q3, paper_dtd)
+        assert result.parsed is not None
+        assert result.normalized is not None
+        assert result.optimized is not None
+        assert result.flux is not None
+        assert result.is_safe
+        assert result.optimize_seconds >= 0
+
+    def test_compile_accepts_dtd_text(self, paper_q3):
+        from tests.conftest import PAPER_FIGURE1_DTD
+
+        result = compile_xquery(paper_q3, PAPER_FIGURE1_DTD)
+        assert result.dtd is not None
+        assert result.dtd.root == "bib"
+
+    def test_compile_accepts_parsed_ast(self, paper_dtd, paper_q3):
+        from repro.xquery.parser import parse_xquery
+
+        result = compile_xquery(parse_xquery(paper_q3), paper_dtd)
+        assert result.is_safe
+
+    def test_compile_without_dtd(self, paper_q3):
+        result = compile_xquery(paper_q3, None)
+        assert result.is_safe
+        assert result.scheduling_report.buffered_handlers >= 1
+
+    def test_describe_contains_stages(self, paper_dtd, paper_q3):
+        description = compile_xquery(paper_q3, paper_dtd).describe()
+        assert "XQuery (normalized)" in description
+        assert "FluX" in description
+        assert "process-stream" in description
+
+    def test_syntax_errors_propagate(self, paper_dtd):
+        with pytest.raises(XQuerySyntaxError):
+            compile_xquery("for $b in return", paper_dtd)
+
+    def test_strong_vs_weak_dtd_changes_schedule(self, paper_dtd, paper_weak_dtd, paper_q3):
+        strong = compile_xquery(paper_q3, paper_dtd)
+        weak = compile_xquery(paper_q3, paper_weak_dtd)
+        assert strong.scheduling_report.buffered_handlers == 0
+        assert weak.scheduling_report.buffered_handlers == 1
+
+    def test_flux_syntax_matches_paper_shape_weak(self, paper_weak_dtd, paper_q3):
+        text = compile_xquery(paper_q3, paper_weak_dtd).flux.to_flux_syntax()
+        assert "on-first past(author,title)" in text
+        assert "on title as" in text
+
+    def test_flux_syntax_matches_paper_shape_strong(self, paper_dtd, paper_q3):
+        text = compile_xquery(paper_q3, paper_dtd).flux.to_flux_syntax()
+        assert "on-first" not in text
+        assert "on author as" in text
+
+
+class TestAblationFlags:
+    def test_disable_order_constraints(self, paper_dtd, paper_q3):
+        pipeline = OptimizerPipeline(paper_dtd, use_order_constraints=False)
+        result = pipeline.compile(paper_q3)
+        assert result.scheduling_report.buffered_handlers >= 1
+
+    def test_disable_loop_merging(self, paper_dtd):
+        query = """
+        <out>{ for $b in $ROOT/bib/book return
+          <e>{ for $x in $b/publisher return $x }{ for $x in $b/publisher return $x }</e> }</out>
+        """
+        with_merge = OptimizerPipeline(paper_dtd).compile(query)
+        without_merge = OptimizerPipeline(paper_dtd, enable_loop_merging=False).compile(query)
+        assert with_merge.algebra_report.merged_loops == 1
+        assert without_merge.algebra_report.merged_loops == 0
+
+    def test_disable_conditional_elimination(self, paper_dtd):
+        query = """
+        <out>{ for $b in $ROOT/bib/book return
+          if ($b/author = "x" and $b/editor = "x") then <y/> else () }</out>
+        """
+        on = OptimizerPipeline(paper_dtd).compile(query)
+        off = OptimizerPipeline(paper_dtd, enable_conditional_elimination=False).compile(query)
+        assert on.algebra_report.eliminated_conditionals == 1
+        assert off.algebra_report.eliminated_conditionals == 0

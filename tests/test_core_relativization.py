@@ -1,0 +1,102 @@
+"""Unit tests for the absolute-to-relative path rewrite (join optimization)."""
+
+import pytest
+
+from repro.core.algebra import AlgebraicOptimizer
+from repro.core.normalform import normalize
+from repro.core.optimizer import compile_xquery
+from repro.engines.dom_engine import DomEngine
+from repro.engines.flux_engine import FluxEngine
+from repro.runtime.bdf import build_bdf
+from repro.workloads.dtds import AUCTION_DTD, BIB_DTD_STRONG
+from repro.workloads.queries import get_query
+from repro.workloads.xmark import generate_auction_site
+from repro.xquery.ast import PathExpr, walk
+from repro.xquery.parser import parse_xquery
+
+JOIN_QUERY = get_query("AUC-A3").xquery
+
+
+def optimize(query, dtd, **flags):
+    optimizer = AlgebraicOptimizer(dtd, **flags)
+    return optimizer.optimize(normalize(parse_xquery(query))), optimizer.report
+
+
+class TestRewriteRule:
+    def test_join_paths_are_rerooted(self, auction_dtd):
+        optimized, report = optimize(JOIN_QUERY, auction_dtd)
+        assert report.relativized_paths >= 1
+        # No remaining absolute path into closed_auctions: it is now rooted
+        # at the loop variable bound to the (unique) site element.
+        for node in walk(optimized):
+            if isinstance(node, PathExpr) and node.var == "ROOT":
+                labels = [getattr(step, "name", None) for step in node.steps]
+                assert "closed_auctions" not in labels
+
+    def test_rule_can_be_disabled(self, auction_dtd):
+        _, report = optimize(JOIN_QUERY, auction_dtd, enable_path_relativization=False)
+        assert report.relativized_paths == 0
+
+    def test_non_unique_prefix_not_used(self, bib_dtd_strong):
+        # books are not unique under bib, so a path cannot be re-rooted at a
+        # book loop variable of a *different* loop.
+        query = """
+        <out>{ for $a in $ROOT/bib/book return
+            for $t in $ROOT/bib/book/title return <x>{ $t }</x> }</out>
+        """
+        optimized, report = optimize(query, bib_dtd_strong)
+        # The inner absolute path may be re-rooted at the unique bib element
+        # (its hop variable) but never at $a (a book, not unique).
+        for node in walk(optimized):
+            if isinstance(node, PathExpr) and node.var == "a":
+                assert [s.name for s in node.steps if hasattr(s, "name")] != ["title"]
+
+    def test_queries_without_absolute_inner_paths_unchanged(self, bib_dtd_strong, paper_q3):
+        _, report = optimize(paper_q3, bib_dtd_strong)
+        assert report.relativized_paths == 0
+
+    def test_report_summary_mentions_rule(self, auction_dtd):
+        _, report = optimize(JOIN_QUERY, auction_dtd)
+        assert "relativized paths" in report.summary()
+        assert any("re-rooted" in note for note in report.notes)
+
+
+class TestEndToEndEffect:
+    @pytest.fixture(scope="class")
+    def auction_document(self):
+        return generate_auction_site(scale=0.2, seed=3)
+
+    def test_bdf_buffers_only_joined_sections(self):
+        compiled = compile_xquery(JOIN_QUERY, AUCTION_DTD)
+        bdf = build_bdf(compiled.flux)
+        site_specs = [spec for spec in bdf if spec.element_type == "site"]
+        assert len(site_specs) == 1
+        assert site_specs[0].labels == {"people", "closed_auctions"}
+        assert not site_specs[0].whole_subtree
+
+    def test_join_memory_below_document_size(self, auction_document):
+        result = FluxEngine(AUCTION_DTD).execute(JOIN_QUERY, auction_document)
+        dom = DomEngine(AUCTION_DTD).execute(JOIN_QUERY, auction_document)
+        assert result.output == dom.output
+        assert result.peak_buffer_bytes < 0.6 * dom.peak_buffer_bytes
+
+    def test_ablation_costs_memory_but_not_correctness(self, auction_document):
+        optimized = FluxEngine(AUCTION_DTD).execute(JOIN_QUERY, auction_document)
+        conservative = FluxEngine(
+            AUCTION_DTD, enable_path_relativization=False
+        ).execute(JOIN_QUERY, auction_document)
+        assert optimized.output == conservative.output
+        assert optimized.peak_buffer_bytes < conservative.peak_buffer_bytes
+
+    def test_results_match_reference_for_bib_join(self, paper_document):
+        query = """
+        <pairs>{ for $b in $ROOT/bib/book return
+            for $c in $ROOT/bib/book
+            where $b/publisher = $c/publisher and $b/@year != $c/@year
+            return <pair>{ $b/title }{ $c/title }</pair> }</pairs>
+        """
+        from tests.conftest import PAPER_FIGURE1_DTD
+
+        flux = FluxEngine(PAPER_FIGURE1_DTD).execute(query, paper_document)
+        dom = DomEngine().execute(query, paper_document)
+        assert flux.output == dom.output

@@ -1,0 +1,143 @@
+"""Unit tests for FluX safety checking (Section 2 of the paper)."""
+
+import pytest
+
+from repro.core.flux import (
+    FBufferedExpr,
+    FConstructor,
+    FluxQuery,
+    FProcessStream,
+    FSequence,
+    OnFirstHandler,
+    OnHandler,
+)
+from repro.core.normalform import normalize
+from repro.core.safety import assert_safe, check_safety
+from repro.core.scheduler import schedule_query
+from repro.errors import UnsafeFluxQueryError
+from repro.xquery.parser import parse_xquery
+
+
+def scheduled(query, dtd):
+    flux, _ = schedule_query(normalize(parse_xquery(query)), dtd)
+    return flux
+
+
+def hand_written_flux(dtd, past_labels, body_query, element_type="book"):
+    """Build `process-stream $book` with a single on-first handler by hand."""
+    handler = OnFirstHandler(frozenset(past_labels), FBufferedExpr(parse_xquery(body_query)))
+    stream = FProcessStream("book", element_type, (handler,))
+    return FluxQuery(stream, dtd)
+
+
+class TestPaperExamples:
+    def test_paper_safe_query(self, paper_weak_dtd):
+        # The Section 2 FluX query: on-first past(title,author) reading
+        # $book/author is safe for the weak DTD.
+        query = hand_written_flux(
+            paper_weak_dtd, {"title", "author"}, "for $a in $book/author return $a"
+        )
+        assert check_safety(query) == []
+
+    def test_paper_unsafe_query(self):
+        # The paper's unsafe variant: the DTD production
+        # book ((title|author)*, price) with a handler firing at
+        # past(title,author) but reading $book/price — the price buffer
+        # would still be empty.
+        from repro.dtd.parser import parse_dtd
+
+        dtd = parse_dtd(
+            "<!ELEMENT bib (book)*>"
+            "<!ELEMENT book ((title|author)*,price)>"
+            "<!ELEMENT title (#PCDATA)>"
+            "<!ELEMENT author (#PCDATA)>"
+            "<!ELEMENT price (#PCDATA)>"
+        )
+        query = hand_written_flux(
+            dtd, {"title", "author"}, "for $p in $book/price return $p"
+        )
+        # Under the paper's strict firing convention (the handler runs before
+        # the triggering child is read) the price buffer is still empty.
+        violations = check_safety(query, strict_firing=True)
+        assert violations
+        assert violations[0].label == "price"
+        # This runtime completes the triggering child before firing, so the
+        # default (runtime-aligned) check accepts the query.
+        assert check_safety(query) == []
+
+    def test_reading_a_label_included_in_the_condition_is_safe(self, paper_dtd):
+        query = hand_written_flux(
+            paper_dtd, {"author"}, "for $a in $book/author return $a"
+        )
+        assert check_safety(query) == []
+
+    def test_reading_label_ordered_before_condition_is_safe(self, paper_dtd):
+        # When past(author) holds under Figure 1, titles are certainly past
+        # too (title precedes author), so reading $book/title is safe even
+        # though title is not in the condition set.
+        query = hand_written_flux(
+            paper_dtd, {"author", "editor"}, "for $t in $book/title return $t"
+        )
+        assert check_safety(query) == []
+
+    def test_reading_later_label_is_unsafe(self, paper_dtd):
+        # past(title) can hold while authors are still to come.
+        query = hand_written_flux(
+            paper_dtd, {"title"}, "for $a in $book/author return $a"
+        )
+        assert check_safety(query)
+
+
+class TestStreamingHandlerRules:
+    def test_on_handler_reading_siblings_is_unsafe(self, paper_dtd):
+        handler = OnHandler(
+            "title", "t", FBufferedExpr(parse_xquery("for $a in $book/author return $a"))
+        )
+        stream = FProcessStream("book", "book", (handler,))
+        violations = check_safety(FluxQuery(stream, paper_dtd))
+        assert violations
+        assert "sibling" in violations[0].reason
+
+    def test_on_handler_using_its_own_variable_is_safe(self, paper_dtd):
+        handler = OnHandler("title", "t", FBufferedExpr(parse_xquery("$t")))
+        stream = FProcessStream("book", "book", (handler,))
+        assert check_safety(FluxQuery(stream, paper_dtd)) == []
+
+
+class TestScheduledQueriesAreSafe:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "<r>{ for $b in $ROOT/bib/book return <x>{ $b/title }{ $b/author }</x> }</r>",
+            "<r>{ for $b in $ROOT/bib/book return <x>{ $b/author }{ $b/title }</x> }</r>",
+            "<r>{ for $b in $ROOT/bib/book where $b/price > 10 return $b/title }</r>",
+            "<r>{ for $b in $ROOT/bib/book return $b }</r>",
+        ],
+    )
+    def test_scheduler_output_is_safe_for_strong_dtd(self, paper_dtd, query):
+        assert check_safety(scheduled(query, paper_dtd)) == []
+
+    def test_scheduler_output_is_safe_for_weak_dtd(self, paper_weak_dtd, paper_q3):
+        assert check_safety(scheduled(paper_q3, paper_weak_dtd)) == []
+
+    def test_scheduler_output_without_dtd_is_safe(self, paper_q3):
+        flux, _ = schedule_query(normalize(parse_xquery(paper_q3)), None)
+        assert check_safety(flux, None) == []
+
+    def test_whole_subtree_condition_fires_at_end_and_is_safe(self, paper_dtd):
+        handler = OnFirstHandler(
+            frozenset({"__whole_subtree__", "*"}) - {"__whole_subtree__"},
+            FBufferedExpr(parse_xquery("$book/title")),
+        )
+        # A handler whose condition contains the whole-subtree marker only
+        # fires at the closing tag, which is always safe.
+        from repro.xquery.analysis import WHOLE_SUBTREE
+
+        handler = OnFirstHandler(frozenset({WHOLE_SUBTREE}), FBufferedExpr(parse_xquery("$book/title")))
+        stream = FProcessStream("book", "book", (handler,))
+        assert check_safety(FluxQuery(stream, paper_dtd)) == []
+
+    def test_violation_string_representation(self, paper_dtd):
+        query = hand_written_flux(paper_dtd, {"title"}, "for $a in $book/author return $a")
+        violations = check_safety(query)
+        assert "process-stream $book" in str(violations[0])

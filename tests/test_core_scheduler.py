@@ -1,0 +1,205 @@
+"""Unit tests for the XQuery→FluX scheduler (schema-based scheduling)."""
+
+import pytest
+
+from repro.core.flux import (
+    FBufferedExpr,
+    FConstructor,
+    FCopyVar,
+    FIf,
+    FProcessStream,
+    OnFirstHandler,
+    OnHandler,
+    walk_flux,
+)
+from repro.core.normalform import normalize
+from repro.core.scheduler import schedule_query
+from repro.xquery.parser import parse_xquery
+
+
+def schedule(query, dtd, **kwargs):
+    normalized = normalize(parse_xquery(query))
+    return schedule_query(normalized, dtd, **kwargs)
+
+
+def process_streams(flux_query):
+    return [n for n in walk_flux(flux_query.body) if isinstance(n, FProcessStream)]
+
+
+def stream_for(flux_query, element_type):
+    matches = [ps for ps in process_streams(flux_query) if ps.element_type == element_type]
+    assert matches, f"no process-stream over {element_type}"
+    return matches[0]
+
+
+class TestPaperQ3StrongDTD:
+    """Section 2: with the Figure 1 DTD, Q3 runs fully on the fly."""
+
+    def test_book_scope_has_two_streaming_handlers(self, paper_dtd, paper_q3):
+        flux, report = schedule(paper_q3, paper_dtd)
+        book_stream = stream_for(flux, "book")
+        on_labels = [h.label for h in book_stream.on_handlers()]
+        assert on_labels == ["title", "author"]
+        assert not book_stream.on_first_handlers()
+
+    def test_no_buffered_handlers_at_all(self, paper_dtd, paper_q3):
+        flux, report = schedule(paper_q3, paper_dtd)
+        assert report.buffered_handlers == 0
+        assert report.streaming_handlers >= 3
+
+    def test_nested_process_streams_follow_path(self, paper_dtd, paper_q3):
+        flux, _ = schedule(paper_q3, paper_dtd)
+        types = [ps.element_type for ps in process_streams(flux)]
+        assert types == ["#document", "bib", "book"]
+
+    def test_handler_bodies_are_streamed_copies(self, paper_dtd, paper_q3):
+        flux, _ = schedule(paper_q3, paper_dtd)
+        book_stream = stream_for(flux, "book")
+        for handler in book_stream.on_handlers():
+            assert isinstance(handler.body, FCopyVar)
+
+    def test_flux_syntax_mentions_constructs(self, paper_dtd, paper_q3):
+        flux, _ = schedule(paper_q3, paper_dtd)
+        text = flux.to_flux_syntax()
+        assert "process-stream $ROOT" in text
+        assert "on book as" in text
+        assert "on title as" in text
+
+
+class TestPaperQ3WeakDTD:
+    """Section 2: with the weak DTD the authors of one book must be buffered."""
+
+    def test_author_loop_becomes_on_first_handler(self, paper_weak_dtd, paper_q3):
+        flux, report = schedule(paper_q3, paper_weak_dtd)
+        book_stream = stream_for(flux, "book")
+        on_labels = [h.label for h in book_stream.on_handlers()]
+        assert on_labels == ["title"]
+        on_first = book_stream.on_first_handlers()
+        assert len(on_first) == 1
+        assert on_first[0].past_labels == {"title", "author"}
+
+    def test_buffered_handler_counts(self, paper_weak_dtd, paper_q3):
+        _, report = schedule(paper_q3, paper_weak_dtd)
+        assert report.buffered_handlers == 1
+
+    def test_title_loop_still_streams_first(self, paper_weak_dtd, paper_q3):
+        flux, _ = schedule(paper_q3, paper_weak_dtd)
+        book_stream = stream_for(flux, "book")
+        assert isinstance(book_stream.handlers[0], OnHandler)
+        assert isinstance(book_stream.handlers[1], OnFirstHandler)
+
+
+class TestOrderConstraintUse:
+    def test_swapped_output_order_requires_buffering(self, paper_dtd):
+        # Asking for authors *before* titles cannot stream the titles.
+        query = """
+        <results>
+        { for $b in $ROOT/bib/book return
+          <result> { $b/author } { $b/title } </result> }
+        </results>
+        """
+        flux, report = schedule(query, paper_dtd)
+        book_stream = stream_for(flux, "book")
+        assert [h.label for h in book_stream.on_handlers()] == ["author"]
+        assert report.buffered_handlers == 1
+
+    def test_title_price_pair_streams(self, paper_dtd):
+        query = """
+        <pricelist>
+        { for $b in $ROOT/bib/book return <e>{ $b/title }{ $b/price }</e> }
+        </pricelist>
+        """
+        _, report = schedule(query, paper_dtd)
+        assert report.buffered_handlers == 0
+
+    def test_disabling_order_constraints_forces_buffering(self, paper_dtd, paper_q3):
+        _, report = schedule(paper_q3, paper_dtd, use_order_constraints=False)
+        assert report.buffered_handlers >= 1
+
+    def test_no_dtd_means_buffering_after_first(self, paper_q3):
+        _, report = schedule(paper_q3, None)
+        assert report.buffered_handlers >= 1
+
+
+class TestConditionalsAndConstants:
+    def test_attribute_condition_stays_streaming(self, paper_dtd):
+        query = """
+        <out>
+        { for $b in $ROOT/bib/book return
+          if ($b/@year > 1991) then <recent>{ $b/title }</recent> else () }
+        </out>
+        """
+        flux, report = schedule(query, paper_dtd)
+        conditionals = [n for n in walk_flux(flux.body) if isinstance(n, FIf)]
+        assert len(conditionals) == 1
+        assert report.buffered_handlers == 0
+
+    def test_child_value_condition_requires_buffering(self, paper_dtd):
+        query = """
+        <out>
+        { for $b in $ROOT/bib/book return
+          if ($b/price > 50) then <expensive>{ $b/title }</expensive> else () }
+        </out>
+        """
+        _, report = schedule(query, paper_dtd)
+        assert report.buffered_handlers >= 1
+
+    def test_constant_between_loops_gets_past_condition(self, paper_dtd):
+        query = """
+        <out>
+        { for $b in $ROOT/bib/book return
+          <entry>{ $b/title } <sep/> { $b/price }</entry> }
+        </out>
+        """
+        flux, _ = schedule(query, paper_dtd)
+        book_stream = stream_for(flux, "book")
+        on_first = book_stream.on_first_handlers()
+        assert len(on_first) == 1
+        assert on_first[0].past_labels == {"title"}
+        assert isinstance(on_first[0].body, FConstructor)
+
+    def test_constant_only_body_has_no_buffering(self, paper_dtd):
+        query = "<out>{ for $b in $ROOT/bib/book return <stamp/> }</out>"
+        flux, report = schedule(query, paper_dtd)
+        assert report.buffered_handlers == 0
+        # The body ignores the book's content entirely, so no process-stream
+        # over book elements is needed at all — the constructor is emitted
+        # directly from the streaming `on book` handler.
+        assert [ps.element_type for ps in process_streams(flux)] == ["#document", "bib"]
+        constructors = [n for n in walk_flux(flux.body) if isinstance(n, FConstructor)]
+        assert any(c.name == "stamp" for c in constructors)
+
+
+class TestJoinsAndWholeSubtrees:
+    def test_whole_element_copy_uses_copy_node(self, paper_dtd):
+        query = "<all>{ for $b in $ROOT/bib/book return $b }</all>"
+        flux, report = schedule(query, paper_dtd)
+        copies = [n for n in walk_flux(flux.body) if isinstance(n, FCopyVar)]
+        assert copies
+        assert report.buffered_handlers == 0
+
+    def test_inner_loop_over_outer_variable_is_buffered(self, paper_dtd):
+        query = """
+        <pairs>
+        { for $b in $ROOT/bib/book return
+            for $t in $b/title return
+              for $a in $b/author return <p>{ $t }{ $a }</p> }
+        </pairs>
+        """
+        flux, report = schedule(query, paper_dtd)
+        assert report.buffered_handlers >= 1
+        buffered = [n for n in walk_flux(flux.body) if isinstance(n, FBufferedExpr)]
+        assert buffered
+
+    def test_descendant_paths_are_buffered(self, paper_dtd):
+        query = "<out>{ for $a in $ROOT//author return <x>{ $a }</x> }</out>"
+        flux, report = schedule(query, paper_dtd)
+        assert report.buffered_handlers >= 1
+
+
+class TestSchedulingReport:
+    def test_summary_format(self, paper_dtd, paper_q3):
+        _, report = schedule(paper_q3, paper_dtd)
+        summary = report.summary()
+        assert "streaming handlers" in summary
+        assert "buffered handlers" in summary

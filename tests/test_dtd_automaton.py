@@ -1,0 +1,105 @@
+"""Unit tests for the content-model (Glushkov) automata."""
+
+import pytest
+
+from repro.dtd.automaton import build_automaton
+from repro.dtd.parser import parse_element_decl
+
+
+def automaton_for(model):
+    return build_automaton(parse_element_decl("x", model))
+
+
+class TestAcceptance:
+    @pytest.mark.parametrize(
+        "model,word,accepted",
+        [
+            ("(a,b)", ["a", "b"], True),
+            ("(a,b)", ["b", "a"], False),
+            ("(a,b)", ["a"], False),
+            ("(a,b)", [], False),
+            ("(a|b)", ["a"], True),
+            ("(a|b)", ["b"], True),
+            ("(a|b)", ["a", "b"], False),
+            ("(a)*", [], True),
+            ("(a)*", ["a", "a", "a"], True),
+            ("(a)*", ["a", "b"], False),
+            ("(a)+", [], False),
+            ("(a)+", ["a", "a"], True),
+            ("(a?)", [], True),
+            ("(a?)", ["a"], True),
+            ("(a?)", ["a", "a"], False),
+            ("(a,(b|c)*,d)", ["a", "d"], True),
+            ("(a,(b|c)*,d)", ["a", "b", "c", "b", "d"], True),
+            ("(a,(b|c)*,d)", ["a", "b"], False),
+            ("((a,b)+)", ["a", "b", "a", "b"], True),
+            ("((a,b)+)", ["a", "b", "a"], False),
+        ],
+    )
+    def test_word_acceptance(self, model, word, accepted):
+        assert automaton_for(model).accepts(word) is accepted
+
+    def test_figure1_book_model(self):
+        automaton = automaton_for("(title,(author+|editor+),publisher,price)")
+        assert automaton.accepts(["title", "author", "publisher", "price"])
+        assert automaton.accepts(["title", "author", "author", "publisher", "price"])
+        assert automaton.accepts(["title", "editor", "publisher", "price"])
+        assert not automaton.accepts(["title", "author", "editor", "publisher", "price"])
+        assert not automaton.accepts(["author", "title", "publisher", "price"])
+        assert not automaton.accepts(["title", "publisher", "price"])
+
+    def test_empty_content_model(self):
+        automaton = automaton_for("EMPTY")
+        assert automaton.accepts([])
+        assert not automaton.accepts(["a"])
+
+    def test_pcdata_model_has_no_element_children(self):
+        automaton = automaton_for("(#PCDATA)")
+        assert automaton.accepts([])
+        assert not automaton.accepts(["a"])
+
+    def test_any_model_accepts_everything(self):
+        automaton = automaton_for("ANY")
+        assert automaton.allows_any
+        assert automaton.accepts([])
+        assert automaton.accepts(["x", "y", "z"])
+
+
+class TestReachableLabels:
+    def test_initial_state_reachability(self):
+        automaton = automaton_for("(a,(b|c)*,d)")
+        assert automaton.reachable_labels(automaton.start_state) == {"a", "b", "c", "d"}
+
+    def test_reachability_shrinks_as_input_is_consumed(self):
+        automaton = automaton_for("(a,b,c)")
+        state = automaton.start_state
+        state = automaton.step(state, "a")
+        assert automaton.reachable_labels(state) == {"b", "c"}
+        state = automaton.step(state, "b")
+        assert automaton.reachable_labels(state) == {"c"}
+        state = automaton.step(state, "c")
+        assert automaton.reachable_labels(state) == frozenset()
+
+    def test_can_still_occur(self):
+        automaton = automaton_for("(title,(author+|editor+),publisher,price)")
+        state = automaton.start_state
+        state = automaton.step(state, "title")
+        assert automaton.can_still_occur(state, frozenset({"author"}))
+        state = automaton.step(state, "author")
+        # More authors may come, but no editor anymore.
+        assert automaton.can_still_occur(state, frozenset({"author"}))
+        assert not automaton.can_still_occur(state, frozenset({"editor"}))
+        state = automaton.step(state, "publisher")
+        assert not automaton.can_still_occur(state, frozenset({"author", "title"}))
+        assert automaton.can_still_occur(state, frozenset({"price"}))
+
+    def test_invalid_step_returns_none(self):
+        automaton = automaton_for("(a,b)")
+        assert automaton.step(automaton.start_state, "z") is None
+
+    def test_weak_dtd_labels_always_reachable(self):
+        automaton = automaton_for("(title|author)*")
+        state = automaton.start_state
+        for label in ["author", "title", "author"]:
+            state = automaton.step(state, label)
+            assert automaton.reachable_labels(state) == {"title", "author"}

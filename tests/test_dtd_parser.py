@@ -1,0 +1,158 @@
+"""Unit tests for the DTD parser and content-model AST."""
+
+import pytest
+
+from repro.errors import DTDSyntaxError
+from repro.dtd.model import (
+    ANY,
+    EMPTY,
+    INFINITY,
+    PCDATA,
+    Choice,
+    Name,
+    OneOrMore,
+    Optional_,
+    Sequence,
+    ZeroOrMore,
+)
+from repro.dtd.parser import parse_dtd, parse_element_decl
+
+
+class TestContentModelParsing:
+    def test_sequence_model(self):
+        decl = parse_element_decl("book", "(title,author,price)")
+        assert isinstance(decl.content, Sequence)
+        assert decl.child_labels() == {"title", "author", "price"}
+
+    def test_choice_model(self):
+        decl = parse_element_decl("book", "(title|author)")
+        assert isinstance(decl.content, Choice)
+
+    def test_repetition_suffixes(self):
+        star = parse_element_decl("bib", "(book)*").content
+        plus = parse_element_decl("bib", "(book)+").content
+        optional = parse_element_decl("bib", "(book)?").content
+        assert isinstance(star, ZeroOrMore)
+        assert isinstance(plus, OneOrMore)
+        assert isinstance(optional, Optional_)
+
+    def test_figure1_model(self):
+        decl = parse_element_decl("book", "(title,(author+|editor+),publisher,price)")
+        assert decl.child_labels() == {"title", "author", "editor", "publisher", "price"}
+        assert not decl.mixed
+
+    def test_pcdata_only(self):
+        decl = parse_element_decl("title", "(#PCDATA)")
+        assert decl.content is PCDATA
+        assert decl.allows_text()
+        assert decl.child_labels() == frozenset()
+
+    def test_mixed_content(self):
+        decl = parse_element_decl("para", "(#PCDATA|em|strong)*")
+        assert decl.mixed
+        assert decl.allows_text()
+        assert decl.child_labels() == {"em", "strong"}
+
+    def test_empty_and_any(self):
+        assert parse_element_decl("br", "EMPTY").content is EMPTY
+        assert parse_element_decl("x", "ANY").content is ANY
+
+    def test_nested_groups(self):
+        decl = parse_element_decl("a", "((b,c)|(d,e))*")
+        assert decl.child_labels() == {"b", "c", "d", "e"}
+
+    def test_mixing_separators_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_element_decl("a", "(b,c|d)")
+
+    def test_pcdata_in_wrong_position_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_element_decl("a", "(b,#PCDATA)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_element_decl("a", "(b) junk")
+
+
+class TestOccurrenceAnalysis:
+    def test_max_count_sequence(self):
+        decl = parse_element_decl("a", "(b,c,b)")
+        assert decl.content.max_count("b") == 2
+        assert decl.content.max_count("c") == 1
+        assert decl.content.max_count("z") == 0
+
+    def test_max_count_choice(self):
+        decl = parse_element_decl("a", "(b|c)")
+        assert decl.content.max_count("b") == 1
+        assert decl.content.min_count("b") == 0
+
+    def test_max_count_star_is_infinite(self):
+        decl = parse_element_decl("a", "(b)*")
+        assert decl.content.max_count("b") == INFINITY
+        assert decl.content.min_count("b") == 0
+
+    def test_plus_min_count(self):
+        decl = parse_element_decl("a", "(b)+")
+        assert decl.content.min_count("b") == 1
+
+    def test_optional_counts(self):
+        decl = parse_element_decl("a", "(b?)")
+        assert decl.content.max_count("b") == 1
+        assert decl.content.min_count("b") == 0
+
+    def test_nullable(self):
+        assert parse_element_decl("a", "(b*)").content.nullable()
+        assert not parse_element_decl("a", "(b)").content.nullable()
+        assert parse_element_decl("a", "(b?,c*)").content.nullable()
+        assert not parse_element_decl("a", "(b?,c)").content.nullable()
+
+
+class TestDTDDocument:
+    def test_parse_full_dtd(self, bib_dtd_strong):
+        assert bib_dtd_strong.root == "bib"
+        assert set(bib_dtd_strong.element_names) >= {"bib", "book", "title", "author", "price"}
+
+    def test_root_inference_prefers_never_child(self):
+        dtd = parse_dtd("<!ELEMENT b (c)><!ELEMENT a (b)*><!ELEMENT c (#PCDATA)>")
+        assert dtd.root == "a"
+
+    def test_explicit_root_override(self):
+        dtd = parse_dtd("<!ELEMENT a (b)*><!ELEMENT b (#PCDATA)>", root="a")
+        assert dtd.root == "a"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a (b)*><!ELEMENT b (#PCDATA)>", root="zzz")
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!ELEMENT a (b)><!ELEMENT a (c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+
+    def test_empty_dtd_rejected(self):
+        with pytest.raises(DTDSyntaxError):
+            parse_dtd("<!-- nothing here -->")
+
+    def test_attlist_declarations_recorded(self, bib_dtd_strong):
+        attributes = {(a.element, a.name) for a in bib_dtd_strong.attributes}
+        assert ("book", "year") in attributes
+
+    def test_comments_inside_dtd_ignored(self):
+        dtd = parse_dtd("<!-- a --><!ELEMENT a (b)*><!-- b --><!ELEMENT b (#PCDATA)>")
+        assert dtd.root == "a"
+
+    def test_undeclared_children_reported(self):
+        dtd = parse_dtd("<!ELEMENT a (b,c)*><!ELEMENT b (#PCDATA)>")
+        assert dtd.undeclared_children() == {"c"}
+
+    def test_reachable_elements(self, bib_dtd_strong):
+        assert "author" in bib_dtd_strong.reachable_elements()
+
+    def test_unknown_element_lookup_raises(self, bib_dtd_strong):
+        with pytest.raises(DTDSyntaxError):
+            bib_dtd_strong.element("nope")
+
+    def test_to_dtd_syntax_round_trips(self, bib_dtd_strong):
+        text = bib_dtd_strong.to_dtd_syntax()
+        reparsed = parse_dtd(text)
+        assert reparsed.root == bib_dtd_strong.root
+        assert set(reparsed.element_names) == set(bib_dtd_strong.element_names)

@@ -1,0 +1,102 @@
+"""Unit tests for streaming DTD validation."""
+
+import pytest
+
+from repro.errors import XMLValidationError
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import StreamingValidator, validate_events, validate_tree
+from repro.xmlstream.parser import parse_events
+from repro.xmlstream.tree import parse_tree
+
+
+class TestValidDocuments:
+    def test_paper_document_is_valid(self, paper_dtd, paper_document):
+        assert validate_events(parse_events(paper_document), paper_dtd) == 18
+
+    def test_weak_document_valid_for_weak_dtd(self, paper_weak_dtd, paper_weak_document):
+        assert validate_events(parse_events(paper_weak_document), paper_weak_dtd) > 0
+
+    def test_generated_bibliography_valid(self, bib_dtd_strong, small_bibliography):
+        assert validate_events(parse_events(small_bibliography), bib_dtd_strong) > 20
+
+    def test_generated_auction_valid(self, auction_dtd, small_auction_site):
+        assert validate_events(parse_events(small_auction_site), auction_dtd) > 20
+
+    def test_validate_tree_api(self, paper_dtd, paper_document):
+        assert validate_tree(parse_tree(paper_document), paper_dtd) == 18
+
+    def test_validator_as_filter_passes_events_through(self, paper_dtd, paper_document):
+        validator = StreamingValidator(paper_dtd)
+        events = list(validator.validate(parse_events(paper_document)))
+        assert events == list(parse_events(paper_document))
+
+
+class TestInvalidDocuments:
+    def test_weak_document_invalid_for_strong_dtd(self, paper_dtd, paper_weak_document):
+        with pytest.raises(XMLValidationError):
+            validate_events(parse_events(paper_weak_document), paper_dtd)
+
+    def test_wrong_root_element(self, paper_dtd):
+        with pytest.raises(XMLValidationError, match="root element"):
+            validate_events(parse_events("<library/>"), paper_dtd)
+
+    def test_missing_required_child(self, paper_dtd):
+        doc = "<bib><book><title>t</title><author>a</author></book></bib>"
+        with pytest.raises(XMLValidationError, match="incomplete content"):
+            validate_events(parse_events(doc), paper_dtd)
+
+    def test_child_in_wrong_position(self, paper_dtd):
+        doc = (
+            "<bib><book><author>a</author><title>t</title>"
+            "<publisher>p</publisher><price>1</price></book></bib>"
+        )
+        with pytest.raises(XMLValidationError, match="not allowed here"):
+            validate_events(parse_events(doc), paper_dtd)
+
+    def test_both_author_and_editor_rejected(self, paper_dtd):
+        doc = (
+            "<bib><book><title>t</title><author>a</author><editor>e</editor>"
+            "<publisher>p</publisher><price>1</price></book></bib>"
+        )
+        with pytest.raises(XMLValidationError):
+            validate_events(parse_events(doc), paper_dtd)
+
+    def test_unexpected_element_inside_leaf(self, paper_dtd):
+        doc = (
+            "<bib><book><title><b>bold</b></title><author>a</author>"
+            "<publisher>p</publisher><price>1</price></book></bib>"
+        )
+        with pytest.raises(XMLValidationError):
+            validate_events(parse_events(doc), paper_dtd)
+
+
+class TestStrictMode:
+    def test_undeclared_element_allowed_by_default(self):
+        dtd = parse_dtd("<!ELEMENT a (b)*>")
+        validate_events(parse_events("<a><b><c/></b></a>"), dtd)
+
+    def test_undeclared_element_rejected_in_strict_mode(self):
+        dtd = parse_dtd("<!ELEMENT a (b)*>")
+        with pytest.raises(XMLValidationError, match="not declared"):
+            validate_events(parse_events("<a><b><c/></b></a>"), dtd, strict=True)
+
+    def test_text_in_element_only_content_rejected_in_strict_mode(self, paper_dtd):
+        doc = (
+            "<bib><book>stray text<title>t</title><author>a</author>"
+            "<publisher>p</publisher><price>1</price></book></bib>"
+        )
+        with pytest.raises(XMLValidationError):
+            validate_events(parse_events(doc), paper_dtd, strict=True)
+        # Lenient mode tolerates it.
+        validate_events(parse_events(doc), paper_dtd, strict=False)
+
+    def test_depth_and_state_introspection(self, paper_dtd):
+        validator = StreamingValidator(paper_dtd)
+        events = parse_events("<bib><book><title>t</title><author>a</author><publisher>p</publisher><price>1</price></book></bib>")
+        seen_depths = set()
+        for event in events:
+            validator.feed(event)
+            seen_depths.add(validator.depth)
+        assert max(seen_depths) == 3
+        assert validator.depth == 0
+        assert validator.current_state() is None

@@ -1,0 +1,76 @@
+"""Unit tests for the FluxEngine facade."""
+
+import pytest
+
+from repro.engines.flux_engine import FluxEngine
+from repro.workloads.dtds import BIB_DTD_STRONG
+from repro.workloads.queries import get_query
+
+
+class TestFluxEngine:
+    def test_execute_returns_result_object(self, paper_dtd, paper_document, paper_q3):
+        engine = FluxEngine(paper_dtd)
+        result = engine.execute(paper_q3, paper_document)
+        assert result.engine == "flux"
+        assert result.output.startswith("<results>")
+        assert result.peak_buffer_bytes == 0
+        assert result.elapsed_seconds >= 0
+        assert "peak buffer" in result.summary()
+
+    def test_engine_accepts_dtd_text(self, paper_document, paper_q3):
+        engine = FluxEngine(
+            "<!ELEMENT bib (book)*>"
+            "<!ELEMENT book (title,(author+|editor+),publisher,price)>"
+            "<!ELEMENT title (#PCDATA)><!ELEMENT author (#PCDATA)>"
+            "<!ELEMENT editor (#PCDATA)><!ELEMENT publisher (#PCDATA)>"
+            "<!ELEMENT price (#PCDATA)>"
+        )
+        result = engine.execute(paper_q3, paper_document)
+        assert "<title>TCP/IP Illustrated</title>" in result.output
+
+    def test_compile_exposes_flux_and_bdf(self, paper_dtd, paper_q3):
+        engine = FluxEngine(paper_dtd)
+        compiled = engine.compile(paper_q3)
+        assert "process-stream" in compiled.flux_syntax
+        assert compiled.buffer_description
+        assert compiled.plan.operator_count() > 0
+
+    def test_compile_is_cached(self, paper_dtd, paper_q3):
+        engine = FluxEngine(paper_dtd)
+        assert engine.compile(paper_q3) is engine.compile(paper_q3)
+
+    def test_compiled_query_is_reusable(self, paper_dtd, paper_document, paper_q3):
+        engine = FluxEngine(paper_dtd)
+        compiled = engine.compile(paper_q3)
+        first = compiled.execute(paper_document)
+        second = compiled.execute(paper_document)
+        assert first.output == second.output
+
+    def test_file_like_document_input(self, paper_dtd, paper_document, paper_q3):
+        import io
+
+        engine = FluxEngine(paper_dtd)
+        result = engine.execute(paper_q3, io.StringIO(paper_document))
+        assert result.output.startswith("<results>")
+
+    def test_engine_without_dtd_still_correct(self, paper_document, paper_q3):
+        with_dtd = FluxEngine(
+            dtd=None
+        ).execute(paper_q3, paper_document)
+        assert "<title>TCP/IP Illustrated</title>" in with_dtd.output
+
+    def test_catalog_query_on_generated_workload(self, small_bibliography):
+        engine = FluxEngine(BIB_DTD_STRONG)
+        spec = get_query("BIB-Q3")
+        result = engine.execute(spec.xquery, small_bibliography)
+        assert result.peak_buffer_bytes == 0
+        assert result.output.count("<result>") == 20
+
+    def test_ablation_flags_change_memory_not_output(self, small_bibliography):
+        spec = get_query("BIB-Q3")
+        default = FluxEngine(BIB_DTD_STRONG).execute(spec.xquery, small_bibliography)
+        ablated = FluxEngine(BIB_DTD_STRONG, use_order_constraints=False).execute(
+            spec.xquery, small_bibliography
+        )
+        assert default.output == ablated.output
+        assert default.peak_buffer_bytes < ablated.peak_buffer_bytes

@@ -1,0 +1,89 @@
+"""Integration tests: all engines agree on the full query catalogue.
+
+Engine agreement is the correctness precondition for every performance claim
+in the reproduced evaluation: the FluX engine (streamed, schema-driven), the
+projection engine and the DOM engine must return byte-identical results on
+every catalogued query and workload.
+"""
+
+import pytest
+
+from repro.engines.dom_engine import DomEngine
+from repro.engines.flux_engine import FluxEngine
+from repro.engines.projection_engine import ProjectionEngine
+from repro.workloads.dtds import AUCTION_DTD, BIB_DTD_STRONG, BIB_DTD_WEAK
+from repro.workloads.queries import queries_for_workload, get_query
+from repro.workloads.bibgen import generate_bibliography
+
+
+def engine_outputs(dtd, query, document):
+    engines = [FluxEngine(dtd), ProjectionEngine(dtd), DomEngine(dtd)]
+    return {engine.name: engine.execute(query, document) for engine in engines}
+
+
+class TestBibliographyAgreement:
+    @pytest.mark.parametrize("key", [spec.key for spec in queries_for_workload("bib")])
+    def test_engines_agree_on_strong_dtd(self, key, small_bibliography):
+        spec = get_query(key)
+        results = engine_outputs(BIB_DTD_STRONG, spec.xquery, small_bibliography)
+        outputs = {result.output for result in results.values()}
+        assert len(outputs) == 1, f"engines disagree on {key}"
+
+    @pytest.mark.parametrize("key", ["BIB-Q2", "BIB-Q3", "BIB-Q4"])
+    def test_engines_agree_on_weak_dtd_documents(self, key, small_weak_bibliography):
+        spec = get_query(key)
+        results = engine_outputs(BIB_DTD_WEAK, spec.xquery, small_weak_bibliography)
+        outputs = {result.output for result in results.values()}
+        assert len(outputs) == 1, f"engines disagree on {key} (weak DTD)"
+
+    @pytest.mark.parametrize("key", [spec.key for spec in queries_for_workload("bib")])
+    def test_flux_never_buffers_more_than_dom(self, key, small_bibliography):
+        spec = get_query(key)
+        results = engine_outputs(BIB_DTD_STRONG, spec.xquery, small_bibliography)
+        assert results["flux"].peak_buffer_bytes <= results["dom"].peak_buffer_bytes
+
+
+class TestAuctionAgreement:
+    @pytest.mark.parametrize("key", [spec.key for spec in queries_for_workload("auction")])
+    def test_engines_agree(self, key, small_auction_site):
+        spec = get_query(key)
+        results = engine_outputs(AUCTION_DTD, spec.xquery, small_auction_site)
+        outputs = {result.output for result in results.values()}
+        assert len(outputs) == 1, f"engines disagree on {key}"
+
+    def test_streaming_auction_query_uses_no_buffers(self, small_auction_site):
+        spec = get_query("AUC-A1")
+        result = FluxEngine(AUCTION_DTD).execute(spec.xquery, small_auction_site)
+        assert result.peak_buffer_bytes == 0
+
+
+class TestScalingBehaviour:
+    """The memory growth claims behind the scaling figure (F3)."""
+
+    def test_flux_memory_constant_in_document_size(self):
+        spec = get_query("BIB-Q3")
+        engine = FluxEngine(BIB_DTD_STRONG)
+        small = engine.execute(spec.xquery, generate_bibliography(num_books=20, seed=1))
+        large = engine.execute(spec.xquery, generate_bibliography(num_books=200, seed=1))
+        assert small.peak_buffer_bytes == large.peak_buffer_bytes == 0
+
+    def test_dom_memory_grows_linearly(self):
+        spec = get_query("BIB-Q3")
+        engine = DomEngine(BIB_DTD_STRONG)
+        small_doc = generate_bibliography(num_books=20, seed=1)
+        large_doc = generate_bibliography(num_books=200, seed=1)
+        small = engine.execute(spec.xquery, small_doc)
+        large = engine.execute(spec.xquery, large_doc)
+        ratio = large.peak_buffer_bytes / small.peak_buffer_bytes
+        assert 6 < ratio < 14  # roughly 10x the books
+
+    def test_bounded_query_memory_grows_sublinearly_for_flux(self):
+        spec = get_query("BIB-Q1")
+        engine = FluxEngine(BIB_DTD_STRONG)
+        small_doc = generate_bibliography(num_books=20, seed=1)
+        large_doc = generate_bibliography(num_books=200, seed=1)
+        small = engine.execute(spec.xquery, small_doc)
+        large = engine.execute(spec.xquery, large_doc)
+        # Per-book buffering: the peak depends on the largest book, not on
+        # the number of books.
+        assert large.peak_buffer_bytes < 3 * small.peak_buffer_bytes

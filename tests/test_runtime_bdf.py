@@ -1,0 +1,77 @@
+"""Unit tests for the buffer description forest (BDF)."""
+
+import pytest
+
+from repro.core.normalform import normalize
+from repro.core.scheduler import schedule_query
+from repro.runtime.bdf import build_bdf
+from repro.xquery.parser import parse_xquery
+
+
+def bdf_for(query, dtd):
+    flux, _ = schedule_query(normalize(parse_xquery(query)), dtd)
+    return build_bdf(flux)
+
+
+class TestPaperExamples:
+    def test_q3_strong_dtd_buffers_nothing(self, paper_dtd, paper_q3):
+        forest = bdf_for(paper_q3, paper_dtd)
+        assert forest.buffering_variables() == []
+        assert forest.total_buffered_labels() == 0
+        assert "no buffers required" in forest.describe() or all(
+            "nothing" in spec.describe() for spec in forest
+        )
+
+    def test_q3_weak_dtd_buffers_author_only(self, paper_weak_dtd, paper_q3):
+        forest = bdf_for(paper_q3, paper_weak_dtd)
+        book_spec = forest.get("b")
+        assert book_spec is not None
+        assert book_spec.labels == {"author"}
+        assert not book_spec.whole_subtree
+        # Titles are streamed, not buffered — the saving over projection.
+        assert "title" not in book_spec.labels
+
+    def test_spec_description_mentions_labels(self, paper_weak_dtd, paper_q3):
+        forest = bdf_for(paper_q3, paper_weak_dtd)
+        assert "author" in forest.describe()
+
+
+class TestBufferedPaths:
+    def test_where_on_child_value_buffers_condition_paths(self, paper_dtd):
+        query = (
+            "<out>{ for $b in $ROOT/bib/book where $b/price > 50 "
+            "return <x>{ $b/title }</x> }</out>"
+        )
+        forest = bdf_for(query, paper_dtd)
+        book_spec = forest.get("b")
+        assert book_spec is not None
+        assert {"price", "title"} <= book_spec.labels
+
+    def test_attribute_only_query_buffers_nothing(self, paper_dtd):
+        query = "<out>{ for $b in $ROOT/bib/book return <y>{ $b/@year }</y> }</out>"
+        forest = bdf_for(query, paper_dtd)
+        spec = forest.get("b")
+        assert spec is None or not spec.buffers_anything
+
+    def test_whole_subtree_marker(self, paper_dtd):
+        query = "<out>{ for $b in $ROOT/bib/book return <x>{ $b//last }</x> }</out>"
+        forest = bdf_for(query, paper_dtd)
+        assert any(spec.whole_subtree for spec in forest)
+
+    def test_join_buffers_sections(self, auction_dtd):
+        query = """
+        <out>
+        { for $p in $ROOT/site/people/person return
+            for $c in $ROOT/site/closed_auctions/closed_auction
+            where $c/buyer/@person = $p/@id
+            return <hit>{ $p/name }</hit> }
+        </out>
+        """
+        forest = bdf_for(query, auction_dtd)
+        assert forest.buffering_variables()
+
+    def test_spec_for_creates_and_reuses(self, paper_dtd, paper_q3):
+        forest = bdf_for(paper_q3, paper_dtd)
+        spec = forest.spec_for("b", "book")
+        assert forest.spec_for("b") is spec
+        assert len(forest) >= 1

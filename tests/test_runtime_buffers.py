@@ -1,0 +1,138 @@
+"""Unit tests for the buffer manager and stream-scope adapter."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.runtime.buffers import BufferManager, ScopeBuffers, StreamScopeNode
+from repro.runtime.stats import RuntimeStats
+from repro.xmlstream.tree import parse_tree
+
+
+def make_scope(manager=None):
+    manager = manager or BufferManager()
+    buffers = ScopeBuffers(manager)
+    return manager, buffers
+
+
+class TestBufferManager:
+    def test_grow_and_release_track_peak(self):
+        manager = BufferManager()
+        manager.grow(100)
+        manager.grow(50)
+        assert manager.current_bytes == 150
+        assert manager.peak_bytes == 150
+        manager.release(120)
+        assert manager.current_bytes == 30
+        assert manager.peak_bytes == 150
+
+    def test_account_tree_counts_nodes_and_bytes(self):
+        stats = RuntimeStats()
+        manager = BufferManager(stats)
+        tree = parse_tree("<a><b>hello</b><c>world</c></a>")
+        size = manager.account_tree(tree)
+        assert size == tree.size_estimate()
+        assert stats.buffered_nodes == 3
+        assert manager.peak_bytes == size
+
+    def test_negative_amounts_rejected(self):
+        manager = BufferManager()
+        with pytest.raises(BufferError_):
+            manager.grow(-1)
+        with pytest.raises(BufferError_):
+            manager.release(-1)
+
+    def test_shared_stats_across_managers(self):
+        stats = RuntimeStats()
+        first = BufferManager(stats)
+        second = BufferManager(stats)
+        first.grow(100)
+        second.grow(200)
+        assert stats.peak_buffer_bytes == 300
+
+
+class TestScopeBuffers:
+    def test_add_child_and_read_back(self):
+        manager, buffers = make_scope()
+        title = parse_tree("<title>T</title>")
+        buffers.add_child("title", title)
+        assert buffers.children_for("title") == [title]
+        assert buffers.children_for("author") == []
+        assert buffers.buffered_bytes > 0
+        assert manager.current_bytes == buffers.buffered_bytes
+
+    def test_close_releases_bytes(self):
+        manager, buffers = make_scope()
+        buffers.add_child("x", parse_tree("<x>data</x>"))
+        held = manager.current_bytes
+        assert held > 0
+        buffers.close()
+        assert manager.current_bytes == 0
+        assert manager.peak_bytes == held
+
+    def test_close_is_idempotent_and_blocks_further_use(self):
+        _, buffers = make_scope()
+        buffers.close()
+        buffers.close()
+        with pytest.raises(BufferError_):
+            buffers.add_child("x", parse_tree("<x/>"))
+
+    def test_incremental_full_element(self):
+        manager, buffers = make_scope()
+        buffers.ensure_full_element("book", {"year": "2000"})
+        buffers.append_full_child(parse_tree("<title>T</title>"))
+        buffers.append_full_text("loose text")
+        element = buffers.full_element
+        assert element.tag == "book"
+        assert element.get("year") == "2000"
+        assert element.string_value() == "Tloose text"
+        assert manager.current_bytes == buffers.buffered_bytes > 0
+
+    def test_append_full_without_ensure_raises(self):
+        _, buffers = make_scope()
+        with pytest.raises(BufferError_):
+            buffers.append_full_child(parse_tree("<x/>"))
+        with pytest.raises(BufferError_):
+            buffers.append_full_text("x")
+
+
+class TestStreamScopeNode:
+    def test_label_buffer_navigation(self):
+        _, buffers = make_scope()
+        buffers.add_child("author", parse_tree("<author><last>K</last></author>"))
+        buffers.add_child("author", parse_tree("<author><last>S</last></author>"))
+        buffers.add_child("title", parse_tree("<title>T</title>"))
+        node = StreamScopeNode("book", {"year": "2004"}, buffers)
+        assert node.tag == "book"
+        assert node.get("year") == "2004"
+        assert len(node.child_elements("author")) == 2
+        assert len(node.child_elements()) == 3
+        assert node.first_child("title").string_value() == "T"
+        assert [d.tag for d in node.descendants("last")] == ["K", "K"] or len(
+            list(node.descendants("last"))
+        ) == 2
+
+    def test_full_element_takes_precedence(self):
+        _, buffers = make_scope()
+        buffers.ensure_full_element("book", {})
+        buffers.append_full_child(parse_tree("<title>Full</title>"))
+        node = StreamScopeNode("book", {}, buffers)
+        assert [c.string_value() for c in node.child_elements("title")] == ["Full"]
+        assert node.string_value() == "Full"
+
+    def test_to_element_materializes_buffered_children(self):
+        _, buffers = make_scope()
+        buffers.add_child("title", parse_tree("<title>T</title>"))
+        node = StreamScopeNode("book", {"year": "1999"}, buffers)
+        element = node.to_element()
+        assert element.tag == "book"
+        assert element.get("year") == "1999"
+        assert element.child_elements("title")[0].string_value() == "T"
+
+    def test_string_value_over_label_buffers(self):
+        _, buffers = make_scope()
+        buffers.add_child("a", parse_tree("<a>x</a>"))
+        buffers.add_child("b", parse_tree("<b>y</b>"))
+        node = StreamScopeNode("p", {}, buffers)
+        assert node.string_value() == "xy"
+        assert node.node_count() == 3
+        assert node.size_estimate() == buffers.buffered_bytes

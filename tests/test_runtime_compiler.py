@@ -1,0 +1,92 @@
+"""Unit tests for the FluX → physical plan compiler."""
+
+import pytest
+
+from repro.core.optimizer import compile_xquery
+from repro.errors import PlanError
+from repro.core.flux import FluxQuery, FProcessStream, OnHandler
+from repro.runtime.compiler import QueryCompiler, compile_flux
+from repro.runtime.plan import (
+    ConstructorOp,
+    OnFirstHandlerOp,
+    OnHandlerOp,
+    ProcessStreamOp,
+    SequenceOp,
+)
+from repro.xquery.parser import parse_xquery
+from repro.core.flux import FBufferedExpr
+
+
+def plan_for(query, dtd):
+    optimized = compile_xquery(query, dtd)
+    return compile_flux(optimized.flux, optimized.dtd)
+
+
+def find_ops(op, op_type):
+    found = []
+    stack = [op]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, op_type):
+            found.append(current)
+        stack.extend(current.children())
+    return found
+
+
+class TestCompilation:
+    def test_q3_strong_plan_shape(self, paper_dtd, paper_q3):
+        plan = plan_for(paper_q3, paper_dtd)
+        streams = find_ops(plan.root, ProcessStreamOp)
+        assert {s.element_type for s in streams} == {"#document", "bib", "book"}
+        book = next(s for s in streams if s.element_type == "book")
+        assert set(book.on_index) == {"title", "author"}
+        assert book.buffer_labels == frozenset()
+        assert not book.buffer_whole
+        assert len(plan.conditions) == 0
+
+    def test_q3_weak_plan_registers_condition(self, paper_weak_dtd, paper_q3):
+        plan = plan_for(paper_q3, paper_weak_dtd)
+        streams = find_ops(plan.root, ProcessStreamOp)
+        book = next(s for s in streams if s.element_type == "book")
+        assert book.buffer_labels == frozenset({"author"})
+        on_first = [h for h in book.handlers if isinstance(h, OnFirstHandlerOp)]
+        assert len(on_first) == 1
+        assert on_first[0].condition_id is not None
+        assert len(plan.conditions) == 1
+
+    def test_handler_indexes_follow_order(self, paper_weak_dtd, paper_q3):
+        plan = plan_for(paper_q3, paper_weak_dtd)
+        book = next(
+            s for s in find_ops(plan.root, ProcessStreamOp) if s.element_type == "book"
+        )
+        assert [h.index for h in book.handlers] == list(range(len(book.handlers)))
+        assert book.on_index["title"] == 0
+
+    def test_operator_count_and_describe(self, paper_dtd, paper_q3):
+        plan = plan_for(paper_q3, paper_dtd)
+        assert plan.operator_count() >= 5
+        description = plan.describe()
+        assert "physical plan" in description
+        assert "buffer description forest" in description
+
+    def test_without_dtd_conditions_not_registered(self, paper_q3):
+        plan = plan_for(paper_q3, None)
+        assert len(plan.conditions) == 0
+        on_first = find_ops(plan.root, OnFirstHandlerOp)
+        assert on_first
+        assert all(h.condition_id is None or h.always_satisfied for h in on_first)
+
+    def test_duplicate_streaming_handlers_rejected(self, paper_dtd):
+        handlers = (
+            OnHandler("title", "t", FBufferedExpr(parse_xquery("$t"))),
+            OnHandler("title", "u", FBufferedExpr(parse_xquery("$u"))),
+        )
+        query = FluxQuery(FProcessStream("b", "book", handlers), paper_dtd)
+        with pytest.raises(PlanError):
+            QueryCompiler(paper_dtd).compile(query)
+
+    def test_constructor_attributes_preserved(self, paper_dtd):
+        plan = plan_for('<out kind="x">{ for $b in $ROOT/bib/book return <y/> }</out>', paper_dtd)
+        constructors = find_ops(plan.root, ConstructorOp)
+        out = next(c for c in constructors if c.name == "out")
+        assert out.attributes == (("kind", "x"),)

@@ -1,0 +1,163 @@
+"""Unit tests for the streamed evaluator (FluX runtime end to end).
+
+These tests run the full pipeline (optimize → compile → stream) on small
+hand-checkable documents, asserting both the produced XML and the buffering
+behaviour that is the whole point of the paper.
+"""
+
+import io
+
+import pytest
+
+from repro.core.optimizer import OptimizerPipeline, compile_xquery
+from repro.errors import XMLValidationError
+from repro.runtime.compiler import compile_flux
+from repro.runtime.evaluator import StreamedEvaluator
+from repro.xmlstream.parser import parse_events
+
+
+def run_flux(query, document, dtd, validate=True, **pipeline_flags):
+    optimized = OptimizerPipeline(dtd, **pipeline_flags).compile(query)
+    plan = compile_flux(optimized.flux, optimized.dtd)
+    evaluator = StreamedEvaluator(plan, optimized.dtd, validate=validate)
+    return evaluator.run_to_string(parse_events(document))
+
+
+class TestPaperQ3:
+    def test_strong_dtd_output(self, paper_dtd, paper_document, paper_q3):
+        output, stats = run_flux(paper_q3, paper_document, paper_dtd)
+        assert output == (
+            "<results>"
+            "<result><title>TCP/IP Illustrated</title><author>Stevens</author></result>"
+            "<result><title>Data on the Web</title>"
+            "<author>Abiteboul</author><author>Buneman</author><author>Suciu</author></result>"
+            "<result><title>Digital Typography</title></result>"
+            "</results>"
+        )
+
+    def test_strong_dtd_zero_buffering(self, paper_dtd, paper_document, paper_q3):
+        _, stats = run_flux(paper_q3, paper_document, paper_dtd)
+        assert stats.peak_buffer_bytes == 0
+
+    def test_weak_dtd_reorders_titles_before_authors(self, paper_weak_dtd, paper_weak_document, paper_q3):
+        output, stats = run_flux(paper_q3, paper_weak_document, paper_weak_dtd)
+        assert output == (
+            "<results>"
+            "<result><title>T1</title><author>A1</author><author>A2</author></result>"
+            "<result><title>T2</title><title>T2b</title></result>"
+            "<result></result>"
+            "</results>"
+        )
+
+    def test_weak_dtd_buffers_at_most_one_book_of_authors(
+        self, paper_weak_dtd, paper_weak_document, paper_q3
+    ):
+        _, stats = run_flux(paper_q3, paper_weak_document, paper_weak_dtd)
+        assert 0 < stats.peak_buffer_bytes < len(paper_weak_document)
+
+    def test_output_stats(self, paper_dtd, paper_document, paper_q3):
+        output, stats = run_flux(paper_q3, paper_document, paper_dtd)
+        assert stats.output_bytes == len(output)
+        assert stats.elements_parsed == 18
+        assert stats.elapsed_seconds >= 0
+
+
+class TestOtherQueryShapes:
+    def test_attribute_filter_streams(self, paper_dtd, paper_document):
+        query = (
+            "<recent>{ for $b in $ROOT/bib/book "
+            'where $b/@year > 1995 return <t>{ $b/title }</t> }</recent>'
+        )
+        output, stats = run_flux(query, paper_document, paper_dtd)
+        assert output == (
+            "<recent><t><title>Data on the Web</title></t>"
+            "<t><title>Digital Typography</title></t></recent>"
+        )
+        assert stats.peak_buffer_bytes == 0
+
+    def test_child_value_filter_buffers_per_book(self, paper_dtd, paper_document):
+        query = (
+            "<expensive>{ for $b in $ROOT/bib/book "
+            "where $b/price > 60 return { $b/title } }</expensive>"
+        )
+        output, stats = run_flux(query, paper_document, paper_dtd)
+        assert output == "<expensive><title>TCP/IP Illustrated</title></expensive>"
+        assert 0 < stats.peak_buffer_bytes < len(paper_document) // 2
+
+    def test_whole_book_copy(self, paper_dtd, paper_document):
+        query = "<all>{ for $b in $ROOT/bib/book return $b }</all>"
+        output, stats = run_flux(query, paper_document, paper_dtd)
+        assert output == "<all>" + paper_document[len("<bib>"):-len("</bib>")] + "</all>"
+        assert stats.peak_buffer_bytes == 0  # streamed copy, no materialization
+
+    def test_nested_title_author_pairs(self, paper_dtd, paper_document):
+        query = (
+            "<pairs>{ for $b in $ROOT/bib/book return "
+            "for $a in $b/author return <p>{ $a }</p> }</pairs>"
+        )
+        output, _ = run_flux(query, paper_document, paper_dtd)
+        assert output.count("<p>") == 4
+
+    def test_unsatisfiable_conditional_produces_empty_output(self, paper_dtd, paper_document):
+        query = (
+            "<g>{ for $b in $ROOT/bib/book return "
+            'if ($b/author = "X" and $b/editor = "X") then <hit/> else () }</g>'
+        )
+        output, stats = run_flux(query, paper_document, paper_dtd)
+        assert output == "<g></g>"
+        assert stats.peak_buffer_bytes == 0
+
+    def test_constant_query_without_stream_access(self, paper_dtd, paper_document):
+        output, _ = run_flux("<hello>world</hello>", paper_document, paper_dtd)
+        assert output == "<hello>world</hello>"
+
+    def test_document_level_buffered_expression(self, paper_dtd, paper_document):
+        query = "<first-titles>{ $ROOT/bib/book/title }</first-titles>"
+        output, _ = run_flux(query, paper_document, paper_dtd)
+        assert output.count("<title>") == 3
+
+    def test_editor_existence_query(self, paper_dtd, paper_document):
+        query = (
+            "<edited>{ for $b in $ROOT/bib/book "
+            "where exists($b/editor) return { $b/title } }</edited>"
+        )
+        output, _ = run_flux(query, paper_document, paper_dtd)
+        assert output == "<edited><title>Digital Typography</title></edited>"
+
+
+class TestValidationAndErrors:
+    def test_invalid_document_raises_during_streaming(self, paper_dtd, paper_weak_document, paper_q3):
+        with pytest.raises(XMLValidationError):
+            run_flux(paper_q3, paper_weak_document, paper_dtd)
+
+    def test_validation_can_be_disabled(self, paper_dtd, paper_q3):
+        doc = "<bib><book year='1'><title>T</title><author>A</author><publisher>P</publisher><price>1</price></book></bib>"
+        output, _ = run_flux(paper_q3, doc, paper_dtd, validate=False)
+        assert "<title>T</title>" in output
+
+    def test_run_accepts_explicit_output_sink(self, paper_dtd, paper_document, paper_q3):
+        optimized = compile_xquery(paper_q3, paper_dtd)
+        plan = compile_flux(optimized.flux, optimized.dtd)
+        sink = io.StringIO()
+        stats = StreamedEvaluator(plan, optimized.dtd).run(parse_events(paper_document), sink)
+        assert sink.getvalue().startswith("<results>")
+        assert stats.output_bytes == len(sink.getvalue())
+
+
+class TestAblationBehaviour:
+    def test_disabling_order_constraints_costs_memory(self, paper_dtd, paper_document, paper_q3):
+        _, with_constraints = run_flux(paper_q3, paper_document, paper_dtd)
+        _, without_constraints = run_flux(
+            paper_q3, paper_document, paper_dtd, use_order_constraints=False
+        )
+        assert with_constraints.peak_buffer_bytes == 0
+        assert without_constraints.peak_buffer_bytes > 0
+
+    def test_outputs_identical_with_and_without_constraints(
+        self, paper_dtd, paper_document, paper_q3
+    ):
+        output_on, _ = run_flux(paper_q3, paper_document, paper_dtd)
+        output_off, _ = run_flux(
+            paper_q3, paper_document, paper_dtd, use_order_constraints=False
+        )
+        assert output_on == output_off

@@ -1,0 +1,142 @@
+"""Unit tests for the XSAX reader (validating parser with on-first events)."""
+
+import pytest
+
+from repro.errors import XMLValidationError
+from repro.runtime.xsax import ConditionRegistry, OnFirstEvent, XSAXReader
+from repro.runtime.stats import RuntimeStats
+from repro.xmlstream.events import EndElement, StartElement, Text
+from repro.xmlstream.parser import parse_events
+from repro.xquery.analysis import DOCUMENT_TYPE
+
+
+def read_all(document, dtd, registry=None, validate=True, stats=None):
+    return list(XSAXReader(parse_events(document), dtd, registry, validate=validate, stats=stats))
+
+
+def event_trace(events):
+    """Compact trace: tag names for start/end, ``!labels`` for on-first."""
+    trace = []
+    for event in events:
+        if isinstance(event, StartElement):
+            trace.append(f"<{event.name}>")
+        elif isinstance(event, EndElement):
+            trace.append(f"</{event.name}>")
+        elif isinstance(event, OnFirstEvent):
+            trace.append("!" + ",".join(sorted(event.labels)))
+    return trace
+
+
+class TestPlainReading:
+    def test_without_conditions_stream_is_unchanged(self, paper_dtd, paper_document):
+        plain = list(parse_events(paper_document))
+        xsax = read_all(paper_document, paper_dtd)
+        assert xsax == plain
+
+    def test_validation_errors_surface(self, paper_dtd, paper_weak_document):
+        with pytest.raises(XMLValidationError):
+            read_all(paper_weak_document, paper_dtd)
+
+    def test_validation_can_be_disabled(self, paper_dtd, paper_weak_document):
+        events = read_all(paper_weak_document, paper_dtd, validate=False)
+        assert events
+
+    def test_wrong_root_rejected(self, paper_dtd):
+        with pytest.raises(XMLValidationError):
+            read_all("<library/>", paper_dtd)
+
+    def test_stats_counters(self, paper_dtd, paper_document):
+        stats = RuntimeStats()
+        read_all(paper_document, paper_dtd, stats=stats)
+        assert stats.elements_parsed == 18
+        assert stats.events_processed > 18
+
+
+class TestOnFirstEvents:
+    DOC = (
+        "<bib><book year=\"1\">"
+        "<title>T</title><author>A1</author><author>A2</author>"
+        "<publisher>P</publisher><price>9</price>"
+        "</book></bib>"
+    )
+
+    def test_condition_fires_once_per_element(self, paper_dtd):
+        registry = ConditionRegistry()
+        registry.register("book", frozenset({"title", "author"}))
+        events = read_all(self.DOC, paper_dtd, registry)
+        on_first = [e for e in events if isinstance(e, OnFirstEvent)]
+        assert len(on_first) == 1
+
+    def test_condition_fires_before_triggering_child(self, paper_dtd):
+        registry = ConditionRegistry()
+        registry.register("book", frozenset({"title", "author"}))
+        trace = event_trace(read_all(self.DOC, paper_dtd, registry))
+        # No further title/author is possible once the publisher arrives, so
+        # the event is inserted right before <publisher>.
+        index = trace.index("!author,title")
+        assert trace[index + 1] == "<publisher>"
+
+    def test_condition_on_impossible_labels_fires_immediately(self, paper_dtd):
+        registry = ConditionRegistry()
+        registry.register("book", frozenset({"chapter"}))
+        trace = event_trace(read_all(self.DOC, paper_dtd, registry))
+        index = trace.index("!chapter")
+        assert trace[index - 1] == "<book>"
+
+    def test_condition_never_early_fires_before_closing_tag(self, paper_weak_dtd):
+        doc = "<bib><book><author>A</author><title>T</title></book></bib>"
+        registry = ConditionRegistry()
+        registry.register("book", frozenset({"title", "author"}))
+        trace = event_trace(read_all(doc, paper_weak_dtd, registry))
+        index = trace.index("!author,title")
+        assert trace[index + 1] == "</book>"
+
+    def test_document_level_condition(self, paper_dtd, paper_document):
+        registry = ConditionRegistry()
+        registry.register(DOCUMENT_TYPE, frozenset({"bib"}))
+        events = read_all(paper_document, paper_dtd, registry)
+        on_first = [e for e in events if isinstance(e, OnFirstEvent)]
+        assert len(on_first) == 1
+        # The document node has a single child, so "no further bib child" is
+        # implied as soon as the root element arrives: the event is inserted
+        # right before <bib> (the consumer defers firing until the root has
+        # been buffered or dispatched, preserving correctness).
+        trace = event_trace(events)
+        assert trace.index("!bib") == trace.index("<bib>") - 1
+
+    def test_multiple_conditions_fire_in_registration_order(self, paper_dtd):
+        registry = ConditionRegistry()
+        first = registry.register("book", frozenset({"title"}))
+        second = registry.register("book", frozenset({"title", "author"}))
+        events = read_all(self.DOC, paper_dtd, registry)
+        ids = [e.condition_id for e in events if isinstance(e, OnFirstEvent)]
+        assert set(ids) == {first, second}
+        assert ids.index(first) < ids.index(second)
+
+    def test_conditions_fire_per_book_instance(self, paper_dtd, paper_document):
+        registry = ConditionRegistry()
+        registry.register("book", frozenset({"author", "editor"}))
+        events = read_all(paper_document, paper_dtd, registry)
+        on_first = [e for e in events if isinstance(e, OnFirstEvent)]
+        assert len(on_first) == 3  # one per book
+
+    def test_no_dtd_means_firing_at_element_end(self):
+        registry = ConditionRegistry()
+        registry.register("book", frozenset({"title"}))
+        doc = "<bib><book><title>T</title><price>1</price></book></bib>"
+        trace = event_trace(list(XSAXReader(parse_events(doc), None, registry)))
+        index = trace.index("!title")
+        assert trace[index + 1] == "</book>"
+
+
+class TestConditionRegistry:
+    def test_register_deduplicates(self):
+        registry = ConditionRegistry()
+        a = registry.register("book", frozenset({"x"}))
+        b = registry.register("book", frozenset({"x"}))
+        c = registry.register("book", frozenset({"y"}))
+        assert a == b != c
+        assert len(registry) == 2
+
+    def test_conditions_for_unknown_type_is_empty(self):
+        assert ConditionRegistry().conditions_for("nothing") == []

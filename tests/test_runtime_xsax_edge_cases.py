@@ -1,0 +1,97 @@
+"""Additional XSAX and streamed-evaluator edge cases."""
+
+import pytest
+
+from repro.core.optimizer import OptimizerPipeline
+from repro.dtd.parser import parse_dtd
+from repro.runtime.compiler import compile_flux
+from repro.runtime.evaluator import StreamedEvaluator
+from repro.runtime.xsax import ConditionRegistry, OnFirstEvent, XSAXReader
+from repro.xmlstream.parser import parse_events
+
+
+def run_flux(query, document, dtd_text):
+    dtd = parse_dtd(dtd_text) if dtd_text else None
+    optimized = OptimizerPipeline(dtd).compile(query)
+    plan = compile_flux(optimized.flux, optimized.dtd)
+    return StreamedEvaluator(plan, optimized.dtd).run_to_string(parse_events(document))
+
+
+OPTIONAL_DTD = """
+<!ELEMENT list (entry)*>
+<!ELEMENT entry (key?,value?)>
+<!ELEMENT key (#PCDATA)>
+<!ELEMENT value (#PCDATA)>
+"""
+
+MIXED_DTD = """
+<!ELEMENT doc (para)*>
+<!ELEMENT para (#PCDATA|em)*>
+<!ELEMENT em (#PCDATA)>
+"""
+
+
+class TestOptionalChildren:
+    def test_missing_optional_children_produce_empty_output(self):
+        query = "<out>{ for $e in $ROOT/list/entry return <pair>{ $e/key }{ $e/value }</pair> }</out>"
+        document = "<list><entry><key>k1</key></entry><entry><value>v2</value></entry><entry/></list>"
+        output, stats = run_flux(query, document, OPTIONAL_DTD)
+        assert output == (
+            "<out><pair><key>k1</key></pair>"
+            "<pair><value>v2</value></pair>"
+            "<pair></pair></out>"
+        )
+
+    def test_empty_document_sections(self):
+        query = "<out>{ for $e in $ROOT/list/entry return <x/> }</out>"
+        output, stats = run_flux(query, "<list></list>", OPTIONAL_DTD)
+        assert output == "<out></out>"
+        assert stats.peak_buffer_bytes == 0
+
+
+class TestMixedContent:
+    def test_mixed_content_copy_preserves_text(self):
+        query = "<out>{ for $p in $ROOT/doc/para return $p }</out>"
+        document = "<doc><para>one <em>two</em> three</para></doc>"
+        output, _ = run_flux(query, document, MIXED_DTD)
+        assert output == "<out><para>one <em>two</em> three</para></out>"
+
+    def test_mixed_content_buffered_copy(self):
+        # Reversing output order forces buffering of the em children while
+        # the text must still round-trip through the buffered copy.
+        query = "<out>{ for $p in $ROOT/doc/para return <r>{ $p/em }{ $p }</r> }</out>"
+        document = "<doc><para>x <em>y</em> z</para></doc>"
+        output, _ = run_flux(query, document, MIXED_DTD)
+        assert "<em>y</em>" in output
+        assert "x <em>y</em> z" in output
+
+
+class TestXSAXRobustness:
+    def test_text_events_do_not_disturb_conditions(self):
+        dtd = parse_dtd(MIXED_DTD)
+        registry = ConditionRegistry()
+        registry.register("para", frozenset({"em"}))
+        events = list(
+            XSAXReader(
+                parse_events("<doc><para>a<em>b</em>c</para></doc>", keep_whitespace=True),
+                dtd,
+                registry,
+            )
+        )
+        assert sum(1 for e in events if isinstance(e, OnFirstEvent)) == 1
+
+    def test_multiple_element_instances_reset_conditions(self):
+        dtd = parse_dtd(OPTIONAL_DTD)
+        registry = ConditionRegistry()
+        registry.register("entry", frozenset({"key"}))
+        document = "<list><entry><key>a</key></entry><entry/><entry><key>b</key></entry></list>"
+        events = list(XSAXReader(parse_events(document), dtd, registry))
+        assert sum(1 for e in events if isinstance(e, OnFirstEvent)) == 3
+
+    def test_deeply_nested_document(self):
+        depth = 60
+        document = "".join(f"<n{i}>" for i in range(depth)) + "x" + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        events = list(XSAXReader(parse_events(document), None, ConditionRegistry()))
+        assert len(events) == 2 * depth + 3

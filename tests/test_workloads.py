@@ -1,0 +1,178 @@
+"""Unit tests for the workload generators and query catalogue."""
+
+import pytest
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.validator import validate_events
+from repro.errors import WorkloadError
+from repro.workloads.bibgen import BibliographyGenerator, generate_bibliography
+from repro.workloads.dtds import (
+    AUCTION_DTD,
+    BIB_DTD_STRONG,
+    BIB_DTD_WEAK,
+    auction_dtd,
+    bib_dtd_strong,
+    bib_dtd_weak,
+)
+from repro.workloads.queries import (
+    ALL_QUERIES,
+    QuerySpec,
+    get_query,
+    queries_for_workload,
+)
+from repro.workloads.xmark import AuctionGenerator, generate_auction_site
+from repro.xmlstream.parser import parse_events
+from repro.xquery.parser import parse_xquery
+
+
+class TestDTDCatalogue:
+    def test_dtds_parse(self):
+        assert bib_dtd_strong().root == "bib"
+        assert bib_dtd_weak().root == "bib"
+        assert auction_dtd().root == "site"
+
+    def test_strong_dtd_has_paper_constraints(self):
+        constraints = bib_dtd_strong().constraints()
+        assert constraints.order_holds("book", "title", "author")
+        assert constraints.at_most_once("book", "publisher")
+        assert constraints.mutually_exclusive("book", "author", "editor")
+
+    def test_weak_dtd_has_no_order_constraint(self):
+        constraints = bib_dtd_weak().constraints()
+        assert not constraints.order_holds("book", "title", "author")
+
+    def test_auction_dtd_orders_sections(self):
+        constraints = auction_dtd().constraints()
+        assert constraints.order_holds("site", "people", "closed_auctions")
+        assert constraints.order_holds("open_auction", "initial", "current")
+
+
+class TestBibliographyGenerator:
+    def test_deterministic_for_same_seed(self):
+        assert generate_bibliography(10, seed=3) == generate_bibliography(10, seed=3)
+        assert generate_bibliography(10, seed=3) != generate_bibliography(10, seed=4)
+
+    def test_document_counts(self):
+        document = generate_bibliography(num_books=7)
+        assert document.count("<book ") == 7
+
+    def test_strong_documents_validate(self):
+        document = generate_bibliography(num_books=30, seed=5)
+        assert validate_events(parse_events(document), bib_dtd_strong()) > 0
+
+    def test_weak_documents_validate_against_weak_dtd(self):
+        document = generate_bibliography(num_books=30, seed=5, conform_to="weak")
+        assert validate_events(parse_events(document), bib_dtd_weak()) > 0
+
+    def test_size_scales_linearly(self):
+        small = len(generate_bibliography(num_books=50))
+        large = len(generate_bibliography(num_books=200))
+        assert 3 < large / small < 5
+
+    def test_books_for_target_size(self):
+        books = BibliographyGenerator.books_for_target_size(100_000)
+        document = generate_bibliography(num_books=books)
+        assert 0.5 < len(document) / 100_000 < 2.0
+
+    def test_editor_fraction_zero_has_no_editors(self):
+        document = generate_bibliography(num_books=40, editor_fraction=0.0)
+        assert "<editor>" not in document
+
+    def test_doctype_embedding(self):
+        generator = BibliographyGenerator(num_books=1, include_doctype=True)
+        assert generator.generate().startswith("<!DOCTYPE bib [")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_books": -1},
+            {"conform_to": "other"},
+            {"editor_fraction": 1.5},
+            {"max_authors": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            BibliographyGenerator(**kwargs)
+
+
+class TestAuctionGenerator:
+    def test_deterministic(self):
+        assert generate_auction_site(0.2, seed=1) == generate_auction_site(0.2, seed=1)
+
+    def test_documents_validate(self):
+        document = generate_auction_site(scale=0.2, seed=2)
+        assert validate_events(parse_events(document), auction_dtd()) > 0
+
+    def test_scale_controls_size(self):
+        small = len(generate_auction_site(scale=0.2))
+        large = len(generate_auction_site(scale=1.0))
+        assert large > 3 * small
+
+    def test_explicit_counts(self):
+        generator = AuctionGenerator(items=3, people=2, open_auctions=1, closed_auctions=1)
+        document = generator.generate()
+        assert document.count("<item ") == 3
+        assert document.count("<person ") == 2
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            AuctionGenerator(scale=0)
+
+    def test_references_point_to_existing_ids(self):
+        document = generate_auction_site(scale=0.1, seed=9)
+        from repro.xmlstream.tree import parse_tree
+
+        tree = parse_tree(document)
+        people = {p.get("id") for p in tree.descendants("person")}
+        buyers = {b.get("person") for b in tree.descendants("buyer")}
+        assert buyers <= people
+
+
+class TestQueryCatalogue:
+    def test_catalogue_size(self):
+        assert len(queries_for_workload("bib")) == 6
+        assert len(queries_for_workload("auction")) == 4
+
+    def test_all_queries_parse(self):
+        for spec in ALL_QUERIES.values():
+            parse_xquery(spec.xquery)
+
+    def test_expected_behaviour_values(self):
+        assert all(
+            spec.expected_behaviour in ("streaming", "bounded", "join")
+            for spec in ALL_QUERIES.values()
+        )
+
+    def test_get_query(self):
+        spec = get_query("BIB-Q3")
+        assert isinstance(spec, QuerySpec)
+        assert "result" in spec.xquery
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            get_query("NOPE-Q9")
+
+    def test_bib_queries_compile_against_strong_dtd(self):
+        from repro.core.optimizer import compile_xquery
+
+        for spec in queries_for_workload("bib"):
+            result = compile_xquery(spec.xquery, BIB_DTD_STRONG)
+            assert result.is_safe, spec.key
+
+    def test_auction_queries_compile_against_auction_dtd(self):
+        from repro.core.optimizer import compile_xquery
+
+        for spec in queries_for_workload("auction"):
+            result = compile_xquery(spec.xquery, AUCTION_DTD)
+            assert result.is_safe, spec.key
+
+    def test_streaming_queries_do_not_buffer(self, small_bibliography):
+        from repro.engines.flux_engine import FluxEngine
+
+        engine = FluxEngine(BIB_DTD_STRONG)
+        for spec in queries_for_workload("bib"):
+            if spec.expected_behaviour != "streaming":
+                continue
+            result = engine.execute(spec.xquery, small_bibliography)
+            assert result.peak_buffer_bytes == 0, spec.key

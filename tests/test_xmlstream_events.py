@@ -1,0 +1,50 @@
+"""Unit tests for the event model."""
+
+from repro.xmlstream.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+    element_events,
+    events_depth_ok,
+)
+
+
+class TestEventValues:
+    def test_events_are_hashable_and_comparable(self):
+        assert StartElement("a") == StartElement("a")
+        assert StartElement("a") != StartElement("b")
+        assert len({StartElement("a"), StartElement("a"), EndElement("a")}) == 2
+
+    def test_attributes_dict_view(self):
+        event = StartElement("a", (("x", "1"), ("y", "2")))
+        assert event.attributes == {"x": "1", "y": "2"}
+
+    def test_attributes_default_empty(self):
+        assert StartElement("a").attributes == {}
+
+    def test_size_estimates(self):
+        assert Text("hello").size_estimate() == 5
+        assert StartElement("abc").size_estimate() >= len("abc")
+        assert StartElement("a", (("k", "vvv"),)).size_estimate() > StartElement("a").size_estimate()
+        assert EndElement("abc").size_estimate() >= len("abc")
+        assert StartDocument().size_estimate() > 0
+        assert EndDocument().size_estimate() > 0
+
+
+class TestHelpers:
+    def test_element_events_wraps_body(self):
+        events = list(element_events("a", {"x": "1"}, [Text("hi")]))
+        assert events[0] == StartElement("a", (("x", "1"),))
+        assert events[-1] == EndElement("a")
+        assert events[1] == Text("hi")
+
+    def test_events_depth_ok_balanced(self):
+        events = [StartElement("a"), StartElement("b"), EndElement("b"), EndElement("a")]
+        assert events_depth_ok(events)
+
+    def test_events_depth_ok_detects_mismatch(self):
+        assert not events_depth_ok([StartElement("a"), EndElement("b")])
+        assert not events_depth_ok([StartElement("a")])
+        assert not events_depth_ok([EndElement("a")])

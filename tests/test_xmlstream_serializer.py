@@ -1,0 +1,82 @@
+"""Unit tests for serialization (trees, event streams, escaping)."""
+
+import io
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import EndElement, StartElement, Text
+from repro.xmlstream.parser import parse_events
+from repro.xmlstream.serializer import (
+    EventSerializer,
+    escape_attribute,
+    escape_text,
+    serialize_events,
+    serialize_tree,
+)
+from repro.xmlstream.tree import build_tree, parse_tree
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute_also_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <bye>') == "say &quot;hi&quot; &amp; &lt;bye&gt;"
+
+    def test_escaped_output_reparses_to_same_text(self):
+        original = 'tricky <text> & "quotes"'
+        xml = f"<a>{escape_text(original)}</a>"
+        tree = parse_tree(xml)
+        assert tree.string_value() == original
+
+
+class TestTreeSerialization:
+    def test_compact_round_trip(self):
+        xml = '<a x="1"><b>text</b><c/></a>'
+        tree = parse_tree(xml)
+        assert serialize_tree(tree) == xml
+
+    def test_pretty_printing_contains_indentation(self):
+        tree = parse_tree("<a><b>x</b></a>")
+        pretty = serialize_tree(tree, indent="  ")
+        assert "\n" in pretty
+        assert "  <b>" in pretty
+
+    def test_attribute_escaping_on_output(self):
+        tree = parse_tree('<a note="x &amp; y"/>')
+        assert 'note="x &amp; y"' in serialize_tree(tree)
+
+
+class TestEventSerialization:
+    def test_serialize_events_round_trip(self):
+        xml = '<root><item n="1">one &amp; two</item><empty></empty></root>'
+        events = list(parse_events(xml))
+        assert serialize_events(events) == xml
+
+    def test_incremental_serializer_counts_bytes(self):
+        sink = io.StringIO()
+        serializer = EventSerializer(sink)
+        serializer.write(StartElement("a"))
+        serializer.write(Text("hello"))
+        serializer.write(EndElement("a"))
+        serializer.close()
+        assert sink.getvalue() == "<a>hello</a>"
+        assert serializer.bytes_written == len("<a>hello</a>")
+
+    def test_unbalanced_end_tag_rejected(self):
+        serializer = EventSerializer(io.StringIO())
+        serializer.write(StartElement("a"))
+        with pytest.raises(XMLSyntaxError):
+            serializer.write(EndElement("b"))
+
+    def test_close_with_open_elements_rejected(self):
+        serializer = EventSerializer(io.StringIO())
+        serializer.write(StartElement("a"))
+        with pytest.raises(XMLSyntaxError):
+            serializer.close()
+
+    def test_serialized_events_rebuild_equal_tree(self, small_bibliography):
+        events = list(parse_events(small_bibliography))
+        text = serialize_events(events)
+        assert build_tree(parse_events(text)).deep_equal(build_tree(iter(events)))

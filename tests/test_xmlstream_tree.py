@@ -1,0 +1,117 @@
+"""Unit tests for the in-memory XML tree and event/tree conversions."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlstream.events import EndElement, StartElement, Text
+from repro.xmlstream.parser import parse_events
+from repro.xmlstream.tree import (
+    XMLElement,
+    XMLText,
+    build_tree,
+    parse_tree,
+    tree_to_events,
+)
+
+
+@pytest.fixture
+def sample_tree():
+    return parse_tree(
+        '<bib><book year="1994"><title>TCP/IP</title>'
+        "<author>Stevens</author><price>65.95</price></book>"
+        "<book year=\"2000\"><title>Data</title><author>Abiteboul</author></book></bib>"
+    )
+
+
+class TestTreeConstruction:
+    def test_root_tag(self, sample_tree):
+        assert sample_tree.tag == "bib"
+
+    def test_child_elements_by_tag(self, sample_tree):
+        assert len(sample_tree.child_elements("book")) == 2
+        assert sample_tree.child_elements("missing") == []
+
+    def test_child_elements_wildcard(self, sample_tree):
+        assert len(sample_tree.child_elements("*")) == 2
+        assert len(sample_tree.child_elements()) == 2
+
+    def test_attributes(self, sample_tree):
+        first = sample_tree.child_elements("book")[0]
+        assert first.get("year") == "1994"
+        assert first.get("missing") is None
+        assert first.get("missing", "x") == "x"
+
+    def test_string_value_concatenates_descendant_text(self, sample_tree):
+        first = sample_tree.child_elements("book")[0]
+        assert first.string_value() == "TCP/IPStevens65.95"
+
+    def test_first_child(self, sample_tree):
+        book = sample_tree.first_child("book")
+        assert book is not None
+        assert book.first_child("title").string_value() == "TCP/IP"
+        assert book.first_child("nope") is None
+
+    def test_descendants(self, sample_tree):
+        titles = list(sample_tree.descendants("title"))
+        assert [t.string_value() for t in titles] == ["TCP/IP", "Data"]
+        all_elements = list(sample_tree.descendants())
+        assert len(all_elements) == 7
+
+    def test_iter_includes_self(self, sample_tree):
+        assert next(iter(sample_tree.iter())) is sample_tree
+
+    def test_node_count(self, sample_tree):
+        assert sample_tree.node_count() == 8
+
+    def test_parent_pointers(self, sample_tree):
+        book = sample_tree.child_elements("book")[0]
+        assert book.parent is sample_tree
+        assert book.child_elements("title")[0].parent is book
+
+
+class TestTreeMutation:
+    def test_append_text_merges_adjacent(self):
+        element = XMLElement("a")
+        element.append_text("one")
+        element.append_text(" two")
+        assert len(element.children) == 1
+        assert element.string_value() == "one two"
+
+    def test_deep_equal(self):
+        first = parse_tree("<a x='1'><b>t</b></a>")
+        second = parse_tree('<a x="1"><b>t</b></a>')
+        third = parse_tree('<a x="2"><b>t</b></a>')
+        assert first.deep_equal(second)
+        assert not first.deep_equal(third)
+
+    def test_size_estimate_grows_with_content(self):
+        small = parse_tree("<a>x</a>")
+        large = parse_tree("<a>" + "x" * 1000 + "</a>")
+        assert large.size_estimate() > small.size_estimate() + 900
+
+
+class TestEventConversion:
+    def test_round_trip_through_events(self, sample_tree):
+        rebuilt = build_tree(tree_to_events(sample_tree, document=True))
+        assert rebuilt.deep_equal(sample_tree)
+
+    def test_tree_to_events_without_document_wrapper(self, sample_tree):
+        events = list(tree_to_events(sample_tree))
+        assert isinstance(events[0], StartElement)
+        assert isinstance(events[-1], EndElement)
+
+    def test_build_tree_rejects_unbalanced_stream(self):
+        with pytest.raises(XMLSyntaxError):
+            build_tree([StartElement("a"), EndElement("b")])
+
+    def test_build_tree_rejects_missing_root(self):
+        with pytest.raises(XMLSyntaxError):
+            build_tree([Text("only text")])
+
+    def test_build_tree_rejects_unclosed(self):
+        with pytest.raises(XMLSyntaxError):
+            build_tree([StartElement("a")])
+
+    def test_text_node_equality(self):
+        assert XMLText("a") == XMLText("a")
+        assert XMLText("a") != XMLText("b")

@@ -1,0 +1,136 @@
+"""Unit tests for static analysis of XQuery ASTs."""
+
+import pytest
+
+from repro.xquery.analysis import (
+    DOCUMENT_TYPE,
+    WHOLE_SUBTREE,
+    child_label_dependencies,
+    depends_on_children,
+    element_type_children,
+    free_variables,
+    fresh_variable,
+    substitute_variable,
+    variable_element_types,
+)
+from repro.xquery.ast import PathExpr, VarRef
+from repro.xquery.parser import parse_xquery
+
+
+class TestFreeVariables:
+    def test_simple_reference(self):
+        assert free_variables(parse_xquery("$x/a")) == {"x"}
+
+    def test_loop_binds_its_variable(self):
+        expr = parse_xquery("for $b in $x/book return $b/title")
+        assert free_variables(expr) == {"x"}
+
+    def test_where_clause_sees_binding(self):
+        expr = parse_xquery("for $b in $x/book where $b/price > $y/limit return $b")
+        assert free_variables(expr) == {"x", "y"}
+
+    def test_let_binds(self):
+        expr = parse_xquery("let $t := $x/title return ($t, $z)")
+        assert free_variables(expr) == {"x", "z"}
+
+    def test_constructor_content(self):
+        expr = parse_xquery("<a>{ $p }{ $q/r }</a>")
+        assert free_variables(expr) == {"p", "q"}
+
+    def test_shadowing(self):
+        expr = parse_xquery("for $x in $y/a return for $x in $x/b return $x")
+        assert free_variables(expr) == {"y"}
+
+
+class TestSubstitution:
+    def test_substitute_variable_reference(self):
+        expr = parse_xquery("($a, $b)")
+        result = substitute_variable(expr, "a", VarRef("z"))
+        assert free_variables(result) == {"z", "b"}
+
+    def test_substitute_into_path_root(self):
+        expr = parse_xquery("$t/last")
+        result = substitute_variable(expr, "t", parse_xquery("$b/title"))
+        assert result == parse_xquery("$b/title/last")
+
+    def test_substitution_respects_shadowing(self):
+        expr = parse_xquery("for $a in $x/p return $a")
+        result = substitute_variable(expr, "a", VarRef("z"))
+        assert result == expr
+
+    def test_invalid_path_substitution_raises(self):
+        expr = parse_xquery("$t/last")
+        with pytest.raises(ValueError):
+            substitute_variable(expr, "t", parse_xquery("<a/>"))
+
+    def test_fresh_variables_are_unique(self):
+        assert fresh_variable() != fresh_variable()
+
+
+class TestChildLabelDependencies:
+    def test_single_child_path(self):
+        expr = parse_xquery("for $t in $b/title return $t")
+        assert child_label_dependencies(expr, "b") == {"title"}
+
+    def test_multiple_labels(self):
+        expr = parse_xquery("($b/title, $b/author/last)")
+        assert child_label_dependencies(expr, "b") == {"title", "author"}
+
+    def test_attribute_access_is_free(self):
+        expr = parse_xquery('$b/@year = "1994"')
+        assert child_label_dependencies(expr, "b") == frozenset()
+
+    def test_bare_variable_needs_whole_subtree(self):
+        assert child_label_dependencies(parse_xquery("$b"), "b") == {WHOLE_SUBTREE}
+
+    def test_descendant_step_needs_whole_subtree(self):
+        assert child_label_dependencies(parse_xquery("$b//last"), "b") == {WHOLE_SUBTREE}
+
+    def test_other_variables_do_not_contribute(self):
+        expr = parse_xquery("($b/title, $c/author)")
+        assert child_label_dependencies(expr, "b") == {"title"}
+        assert child_label_dependencies(expr, "c") == {"author"}
+
+    def test_shadowed_variable_not_counted(self):
+        expr = parse_xquery("for $b in $b/inner return $b/deep")
+        # The outer $b is only read through the loop source.
+        assert child_label_dependencies(expr, "b") == {"inner"}
+
+    def test_depends_on_children_helper(self):
+        assert depends_on_children(parse_xquery("$b/title"), "b")
+        assert not depends_on_children(parse_xquery("$b/@year"), "b")
+        assert not depends_on_children(parse_xquery('"constant"'), "b")
+
+
+class TestTypeInference:
+    def test_document_variable_type(self):
+        types = variable_element_types(parse_xquery("$ROOT/bib"), None)
+        assert types["ROOT"] == DOCUMENT_TYPE
+
+    def test_loop_variable_types(self, paper_dtd):
+        expr = parse_xquery(
+            "for $b in $ROOT/bib/book return for $a in $b/author return $a"
+        )
+        types = variable_element_types(expr, paper_dtd)
+        assert types["b"] == "book"
+        assert types["a"] == "author"
+
+    def test_let_variable_type(self, paper_dtd):
+        expr = parse_xquery("let $t := $ROOT/bib/book return $t/title")
+        types = variable_element_types(expr, paper_dtd)
+        assert types["t"] == "book"
+
+    def test_untypable_variable_omitted(self, paper_dtd):
+        expr = parse_xquery("for $x in $ROOT//book return $x")
+        types = variable_element_types(expr, paper_dtd)
+        assert types.get("x") == "book"
+        expr2 = parse_xquery("for $x in ($a, $b) return $x")
+        assert "x" not in variable_element_types(expr2, paper_dtd)
+
+    def test_element_type_children(self, paper_dtd):
+        assert element_type_children(paper_dtd, "book") == {
+            "title", "author", "editor", "publisher", "price",
+        }
+        assert element_type_children(paper_dtd, DOCUMENT_TYPE) == {"bib"}
+        assert element_type_children(paper_dtd, "nonexistent") == frozenset()
+        assert element_type_children(None, "book") == frozenset()
