@@ -8,9 +8,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description="FluXQuery reproduction: an optimizing XQuery processor for streaming XML data",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.9",
+    entry_points={
+        "console_scripts": [
+            "fluxrepro = repro.cli:main",
+        ],
+    },
 )

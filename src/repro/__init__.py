@@ -43,9 +43,10 @@ from repro.errors import (
     XMLValidationError,
     XQuerySyntaxError,
 )
+from repro.service import PlanCache, QueryService
 from repro.xquery.parser import parse_xquery
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -56,6 +57,8 @@ __all__ = [
     "QueryResult",
     "OptimizerPipeline",
     "OptimizedQuery",
+    "QueryService",
+    "PlanCache",
     "compile_xquery",
     "parse_xquery",
     "parse_dtd",

@@ -1,11 +1,11 @@
 """Command-line interface.
 
-Usage (installed as a module; no console script is registered to keep the
-package dependency-free)::
+Installed as the ``fluxrepro`` console script, or run as a module::
 
     python -m repro run --query query.xq --input document.xml [--dtd schema.dtd]
     python -m repro explain --query query.xq --dtd schema.dtd
     python -m repro compare --query query.xq --input document.xml --dtd schema.dtd
+    python -m repro multi --queries queries/ --input document.xml [--dtd schema.dtd]
 
 * ``run`` evaluates an XQuery over an XML document with the FluX engine and
   writes the result to stdout (or ``--output``), reporting buffering and
@@ -15,6 +15,14 @@ package dependency-free)::
   description forest.
 * ``compare`` runs the query with all three engines (FluX, projection, DOM)
   and prints a memory/runtime comparison table.
+* ``multi`` serves a whole *directory* of queries (``*.xq``) over one
+  document in a single shared pass: every query is compiled through the
+  service plan cache and executed by the multi-query
+  :class:`~repro.service.QueryService`, so the document is parsed and
+  validated once, not once per query.  Results go to ``--output-dir`` (one
+  ``<name>.xml`` per query) or stdout; per-query statistics and the shared
+  scan's savings are reported on stderr, and ``--json`` dumps them
+  machine-readably.
 
 Queries and documents are read from files; ``-`` means stdin.  The DTD can
 be given explicitly with ``--dtd``; otherwise, if the document carries a
@@ -25,6 +33,8 @@ query still runs, with maximal buffering.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Optional
 
@@ -36,6 +46,8 @@ from repro.engines.flux_engine import FluxEngine
 from repro.engines.projection_engine import ProjectionEngine
 from repro.bench.harness import BenchmarkHarness
 from repro.bench.reporting import format_table
+from repro.service import QueryService
+from repro.xmlstream.events import StartElement
 from repro.xmlstream.parser import StreamingXMLParser
 
 
@@ -46,19 +58,37 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def _load_dtd(dtd_path: Optional[str], document: Optional[str]) -> Optional[DTD]:
+def _load_dtd(dtd_path: Optional[str], document) -> Optional[DTD]:
+    """The DTD for a run: an explicit file, or the document's DOCTYPE.
+
+    ``document`` is XML text or a file-like object.  The DOCTYPE declaration
+    lives in the prolog, so parsing up to the first start tag is enough —
+    draining the whole event stream here would parse every document twice.
+    """
     if dtd_path:
         return parse_dtd(_read(dtd_path))
-    if document:
+    if document is not None:
         parser = StreamingXMLParser(document)
         try:
-            for _ in parser.events():
-                pass
+            for event in parser.events():
+                if parser.doctype_internal_subset is not None or isinstance(
+                    event, StartElement
+                ):
+                    break
         except Exception:  # pragma: no cover - malformed input surfaces later
             return None
         if parser.doctype_internal_subset:
             return parse_dtd(parser.doctype_internal_subset)
     return None
+
+
+def _write_result(output: str, path: Optional[str]) -> None:
+    """Write a query result, identically to a file or to stdout."""
+    if path and path != "-":
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(output + "\n")
+    else:
+        sys.stdout.write(output + "\n")
 
 
 def _command_run(args: argparse.Namespace) -> int:
@@ -67,11 +97,7 @@ def _command_run(args: argparse.Namespace) -> int:
     dtd = _load_dtd(args.dtd, document)
     engine = FluxEngine(dtd, validate=not args.no_validate)
     result = engine.execute(query, document)
-    if args.output and args.output != "-":
-        with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(result.output)
-    else:
-        sys.stdout.write(result.output + "\n")
+    _write_result(result.output, args.output)
     print(
         f"[flux] peak buffer: {result.peak_buffer_bytes} B, "
         f"time: {result.stats.elapsed_seconds * 1000:.1f} ms, "
@@ -114,6 +140,71 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_multi(args: argparse.Namespace) -> int:
+    query_files = sorted(
+        name for name in os.listdir(args.queries) if name.endswith(".xq")
+    )
+    if not query_files:
+        print(f"no *.xq files in {args.queries}", file=sys.stderr)
+        return 2
+    # Unlike `run`, the shared pass never needs the whole document in
+    # memory: file inputs are streamed (the prolog is re-read separately
+    # for an embedded DOCTYPE); only stdin must be buffered.
+    if args.input == "-":
+        document = sys.stdin.read()
+        dtd = _load_dtd(args.dtd, document)
+    else:
+        document = None
+        if args.dtd:
+            dtd = _load_dtd(args.dtd, None)
+        else:
+            with open(args.input, "r", encoding="utf-8") as prolog:
+                dtd = _load_dtd(None, prolog)
+    service = QueryService(dtd, validate=not args.no_validate)
+    for name in query_files:
+        key = os.path.splitext(name)[0]
+        service.register(_read(os.path.join(args.queries, name)), key=key)
+    if document is not None:
+        results = service.run_pass(document)
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            results = service.run_pass(handle)
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+    for key in sorted(results):
+        result = results[key]
+        if args.output_dir:
+            _write_result(result.output, os.path.join(args.output_dir, f"{key}.xml"))
+        else:
+            sys.stdout.write(f"<!-- {key} -->\n")
+            _write_result(result.output, None)
+        print(
+            f"[{key}] peak buffer: {result.peak_buffer_bytes} B, "
+            f"time: {result.stats.elapsed_seconds * 1000:.1f} ms, "
+            f"events: {result.stats.events_processed}",
+            file=sys.stderr,
+        )
+    metrics = service.metrics.last_pass
+    print(
+        f"[shared pass] {metrics.queries} queries, one scan: "
+        f"{metrics.parser_events} parser events "
+        f"({metrics.events_saved_vs_solo} saved vs. solo runs), "
+        f"{metrics.events_forwarded} forwarded, "
+        f"{metrics.events_pruned} pruned, "
+        f"{metrics.text_events_dropped} text dropped, "
+        f"time: {metrics.elapsed_seconds * 1000:.1f} ms",
+        file=sys.stderr,
+    )
+    if args.json:
+        summary = service.stats_summary()
+        summary["results"] = {
+            key: result.stats.as_dict() for key, result in results.items()
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,11 +231,26 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--dtd", "-d", help="DTD file")
     compare_parser.set_defaults(handler=_command_compare)
 
+    multi_parser = subparsers.add_parser(
+        "multi", help="run a directory of queries over one document in one shared pass"
+    )
+    multi_parser.add_argument(
+        "--queries", "-Q", required=True, help="directory of *.xq query files"
+    )
+    multi_parser.add_argument("--input", "-i", required=True, help="XML document file ('-' for stdin)")
+    multi_parser.add_argument("--dtd", "-d", help="DTD file (defaults to the document's DOCTYPE)")
+    multi_parser.add_argument(
+        "--output-dir", "-O", help="directory for per-query results (default stdout)"
+    )
+    multi_parser.add_argument("--json", "-j", help="write service metrics/results as JSON")
+    multi_parser.add_argument("--no-validate", action="store_true", help="skip DTD validation")
+    multi_parser.set_defaults(handler=_command_multi)
+
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
-    """Entry point used by ``python -m repro``."""
+    """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -105,6 +105,22 @@ class OptimizerPipeline:
         self.use_order_constraints = use_order_constraints
         self.strict_safety = strict_safety
 
+    def config_fingerprint(self) -> str:
+        """A stable digest of the pipeline's optimization switches.
+
+        Plans are only interchangeable between pipelines with identical
+        configuration; the plan cache includes this in its keys so ablation
+        pipelines never share entries with the default one.
+        """
+        flags = (
+            self.enable_loop_merging,
+            self.enable_conditional_elimination,
+            self.enable_path_relativization,
+            self.use_order_constraints,
+            self.strict_safety,
+        )
+        return "".join("1" if flag else "0" for flag in flags)
+
     def compile(self, query: Union[str, XQueryExpr]) -> OptimizedQuery:
         """Run the full pipeline on ``query`` (XQuery text or AST)."""
         started = time.perf_counter()

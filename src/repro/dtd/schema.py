@@ -128,6 +128,35 @@ class DTD:
                     missing.add(label)
         return missing
 
+    def fingerprint(self) -> str:
+        """A stable digest of the schema's semantic content.
+
+        Two DTDs with the same root, element declarations (names, content
+        models, mixedness) and attribute declarations produce the same
+        fingerprint, regardless of how their objects were built.  Used as
+        the schema component of plan-cache keys: a compiled plan is only
+        reusable under the exact schema whose constraints shaped it.
+        """
+        if getattr(self, "_fingerprint", None) is None:
+            import hashlib
+
+            parts = [f"root={self.root}"]
+            parts.extend(
+                sorted(
+                    f"{decl.name}={decl.content.to_dtd_syntax()};mixed={decl.mixed}"
+                    for decl in self._elements.values()
+                )
+            )
+            parts.extend(
+                sorted(
+                    f"@{attr.element}.{attr.name}:{attr.attr_type}={attr.default}"
+                    for attr in self.attributes
+                )
+            )
+            digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+            self._fingerprint = digest
+        return self._fingerprint
+
     # -------------------------------------------------------------- output
 
     def to_dtd_syntax(self) -> str:

@@ -5,20 +5,30 @@ compiled into an optimized FluX query, the FluX query into a physical plan
 (with its buffer description forest and registered XSAX conditions), and the
 plan is evaluated over the streaming input, producing the result as an output
 XML stream and buffering only what the BDF requires.
+
+Compiled queries support two execution styles:
+
+* one-shot :meth:`CompiledFluxQuery.execute` pulls the whole document through
+  the plan (the paper's model);
+* :meth:`CompiledFluxQuery.start` opens a push-based
+  :class:`FluxQuerySession` — ``feed(events)`` as they arrive, then
+  ``finish()`` for the :class:`~repro.engines.base.QueryResult`.  This is
+  what the multi-query service (``repro.service``) uses to run many plans
+  over one shared scan.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from repro.core.optimizer import OptimizedQuery, OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.engines.base import Engine, QueryResult
-from repro.runtime.compiler import QueryCompiler
-from repro.runtime.evaluator import StreamedEvaluator
+from repro.runtime.compiler import CompiledQueryPlan, compile_query
+from repro.runtime.evaluator import EvaluatorSession, StreamedEvaluator
 from repro.runtime.plan import PhysicalPlan
-from repro.runtime.stats import RuntimeStats
+from repro.xmlstream.events import Event
 from repro.xmlstream.parser import parse_events
 
 
@@ -65,9 +75,8 @@ class FluxEngine(Engine):
     def compile(self, query: str) -> "CompiledFluxQuery":
         """Compile ``query`` once; the result can be executed repeatedly."""
         if query not in self._plan_cache:
-            optimized = self.pipeline.compile(query)
-            plan = QueryCompiler(self.dtd).compile(optimized.flux)
-            self._plan_cache[query] = CompiledFluxQuery(self, query, optimized, plan)
+            entry = compile_query(query, pipeline=self.pipeline)
+            self._plan_cache[query] = CompiledFluxQuery(self, entry)
         return self._plan_cache[query]
 
     # ------------------------------------------------------------ execute
@@ -80,25 +89,76 @@ class FluxEngine(Engine):
 class CompiledFluxQuery:
     """A query compiled by the :class:`FluxEngine`, ready for execution."""
 
-    def __init__(self, engine: FluxEngine, query: str, optimized: OptimizedQuery, plan: PhysicalPlan):
+    def __init__(self, engine: FluxEngine, entry: CompiledQueryPlan):
         self.engine = engine
-        self.query = query
-        self.optimized = optimized
-        self.plan = plan
+        self.entry = entry
+
+    @property
+    def query(self) -> str:
+        return self.entry.source
+
+    @property
+    def optimized(self) -> OptimizedQuery:
+        return self.entry.optimized
+
+    @property
+    def plan(self) -> PhysicalPlan:
+        return self.entry.plan
 
     @property
     def flux_syntax(self) -> str:
         """The optimized query rendered in FluX syntax."""
-        return self.optimized.flux.to_flux_syntax()
+        return self.entry.flux_syntax
 
     @property
     def buffer_description(self) -> str:
         """The buffer description forest of the compiled plan."""
-        return self.plan.bdf.describe()
+        return self.entry.buffer_description
 
     def execute(self, document: Union[str, io.TextIOBase]) -> QueryResult:
-        """Evaluate the compiled query over ``document``."""
+        """Evaluate the compiled query over ``document`` (one-shot pull)."""
         evaluator = StreamedEvaluator(self.plan, self.engine.dtd, validate=self.engine.validate)
         events = parse_events(document)
         output, stats = evaluator.run_to_string(events)
         return QueryResult(output=output, stats=stats, engine=self.engine.name, query=self.query)
+
+    def start(self, validate: Optional[bool] = None) -> "FluxQuerySession":
+        """Open a push-based session: ``feed(events)``, then ``finish()``."""
+        return FluxQuerySession(self, validate=validate)
+
+
+class FluxQuerySession:
+    """One push-based evaluation of a compiled FluX query.
+
+    The session is started eagerly; callers push parser events with
+    :meth:`feed` and collect the :class:`~repro.engines.base.QueryResult`
+    with :meth:`finish`.  Output is byte-identical to the one-shot
+    :meth:`CompiledFluxQuery.execute` over the same event stream.
+    """
+
+    def __init__(self, compiled: CompiledFluxQuery, validate: Optional[bool] = None):
+        self.compiled = compiled
+        if validate is None:
+            validate = compiled.engine.validate
+        self._session = EvaluatorSession(
+            compiled.plan, compiled.engine.dtd, validate=validate
+        )
+        self._session.start()
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Push a batch of parser events into the evaluation."""
+        self._session.feed(events)
+
+    def finish(self) -> QueryResult:
+        """Close the input and return the query result."""
+        output, stats = self._session.finish()
+        return QueryResult(
+            output=output,
+            stats=stats,
+            engine=self.compiled.engine.name,
+            query=self.compiled.query,
+        )
+
+    def abort(self) -> None:
+        """Abandon the session, discarding any partial output."""
+        self._session.abort()

@@ -18,8 +18,10 @@ Concretely the compiler
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from repro.core.optimizer import OptimizedQuery, OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.core.flux import (
     FBufferedExpr,
@@ -177,3 +179,57 @@ class QueryCompiler:
 def compile_flux(query: FluxQuery, dtd: Optional[DTD] = None) -> PhysicalPlan:
     """Convenience wrapper around :class:`QueryCompiler`."""
     return QueryCompiler(dtd).compile(query)
+
+
+@dataclass
+class CompiledQueryPlan:
+    """End-to-end compilation artefact: XQuery text → physical plan.
+
+    Bundles the optimizer output with the executable plan so callers that
+    cache compilations (``FluxEngine``, the service plan cache) share one
+    unit.  The same object can be executed any number of times, concurrently:
+    all per-run state lives in the evaluator, not the plan.
+    """
+
+    source: str
+    optimized: OptimizedQuery
+    plan: PhysicalPlan
+    #: Configuration digest of the pipeline that produced the plan (see
+    #: :meth:`OptimizerPipeline.config_fingerprint`); part of cache keys.
+    pipeline_config: str = ""
+
+    @property
+    def dtd(self) -> Optional[DTD]:
+        return self.plan.dtd
+
+    @property
+    def flux_syntax(self) -> str:
+        """The optimized query rendered in FluX syntax."""
+        return self.optimized.flux.to_flux_syntax()
+
+    @property
+    def buffer_description(self) -> str:
+        """The buffer description forest of the compiled plan."""
+        return self.plan.bdf.describe()
+
+
+def compile_query(
+    query: str,
+    dtd: Optional[DTD] = None,
+    pipeline: Optional[OptimizerPipeline] = None,
+) -> CompiledQueryPlan:
+    """Compile XQuery text through the full pipeline into an executable plan.
+
+    ``pipeline`` lets callers reuse a configured :class:`OptimizerPipeline`
+    (ablation switches, shared DTD); otherwise one is built from ``dtd``.
+    """
+    if pipeline is None:
+        pipeline = OptimizerPipeline(dtd)
+    optimized = pipeline.compile(query)
+    plan = QueryCompiler(pipeline.dtd).compile(optimized.flux)
+    return CompiledQueryPlan(
+        source=query,
+        optimized=optimized,
+        plan=plan,
+        pipeline_config=pipeline.config_fingerprint(),
+    )

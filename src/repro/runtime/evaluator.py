@@ -31,13 +31,26 @@ Output is produced as an event stream and serialized incrementally, so query
 results are never materialized.  All memory consumed by buffers flows through
 the :class:`~repro.runtime.buffers.BufferManager`, whose peak is the number
 the memory benchmarks report.
+
+Push-based execution
+--------------------
+
+The evaluator itself pulls events.  :class:`EvaluatorSession` inverts that
+control so callers can *push* events instead: it runs the evaluator on a
+worker thread that drains a bounded :class:`EventChannel`, giving every
+compiled plan a ``start() / feed(events) / finish()`` life cycle.  This is
+the substrate of the multi-query service (``repro.service``), where one
+shared document scan fans out to many concurrently executing plans with
+back-pressure instead of unbounded queueing.
 """
 
 from __future__ import annotations
 
 import io
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+import queue
+import threading
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.dtd.schema import DTD
 from repro.errors import EvaluationError
@@ -442,3 +455,174 @@ class StreamedEvaluator:
 def _chain_one(first: Event, rest: Iterator[Event]) -> Iterator[Event]:
     yield first
     yield from rest
+
+
+# ---------------------------------------------------------------- push mode
+
+
+_CHANNEL_CLOSED = object()
+
+
+class EventChannel:
+    """Bounded hand-off of event chunks from a producer to a consumer thread.
+
+    The producer :meth:`put`s lists of events (chunks, to amortize queue
+    overhead) and finally :meth:`close`s the channel; the consumer iterates
+    events.  The queue bound provides back-pressure: a slow consumer stalls
+    the producer instead of buffering the document.  When the consumer stops
+    early (the plan finished without draining the stream, or it failed), the
+    producer is released and further chunks are dropped.
+    """
+
+    def __init__(self, maxsize: int = 16):
+        self._queue: "queue.Queue" = queue.Queue(maxsize)
+        self._consumer_done = threading.Event()
+
+    def put(self, chunk: List[Event]) -> bool:
+        """Enqueue ``chunk``; returns False if the consumer already stopped."""
+        while not self._consumer_done.is_set():
+            try:
+                self._queue.put(chunk, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def close(self) -> None:
+        """Signal end of input to the consumer."""
+        self.put(_CHANNEL_CLOSED)
+
+    def mark_consumer_done(self) -> None:
+        """Called by the consumer when it stops reading (normally or not)."""
+        self._consumer_done.set()
+
+    def __iter__(self) -> Iterator[Event]:
+        while True:
+            chunk = self._queue.get()
+            if chunk is _CHANNEL_CLOSED:
+                return
+            for event in chunk:
+                yield event
+
+
+def _drive_evaluator(evaluator, channel, sink, stats, error_box) -> None:
+    """Worker-thread body of an :class:`EvaluatorSession`.
+
+    A module-level function on purpose: the thread must not hold a
+    reference to the session object, or a session dropped without
+    ``finish()``/``abort()`` could never be garbage collected (its
+    finalizer releases the blocked worker).
+    """
+    try:
+        evaluator.run(iter(channel), sink, stats)
+    except BaseException as exc:  # re-raised on the caller's thread
+        error_box.append(exc)
+    finally:
+        channel.mark_consumer_done()
+
+
+class EvaluatorSession:
+    """Push-based execution of one physical plan.
+
+    Wraps a :class:`StreamedEvaluator` running on a worker thread behind an
+    :class:`EventChannel`, exposing the resumable life cycle
+
+    >>> session = EvaluatorSession(plan, dtd)          # doctest: +SKIP
+    >>> session.start()                                # doctest: +SKIP
+    >>> session.feed(events); session.feed(more)       # doctest: +SKIP
+    >>> output, stats = session.finish()               # doctest: +SKIP
+
+    ``feed`` accepts any iterable of events and may be called repeatedly;
+    ``finish`` closes the input, joins the worker, re-raises any evaluation
+    error, and returns ``(output_xml, stats)``.  The session is single-use;
+    one dropped without ``finish()``/``abort()`` is aborted by its
+    finalizer, releasing the worker thread.
+    """
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        dtd: Optional[DTD] = None,
+        validate: bool = True,
+        stats: Optional[RuntimeStats] = None,
+        channel_size: int = 16,
+    ):
+        self._evaluator = StreamedEvaluator(plan, dtd, validate=validate)
+        self._stats = stats if stats is not None else RuntimeStats()
+        self._channel = EventChannel(channel_size)
+        self._sink = io.StringIO()
+        self._thread: Optional[threading.Thread] = None
+        self._error_box: List[BaseException] = []
+        self._result: Optional[Tuple[str, RuntimeStats]] = None
+        self._aborted = False
+
+    @property
+    def started(self) -> bool:
+        return self._thread is not None
+
+    @property
+    def finished(self) -> bool:
+        return self._result is not None
+
+    @property
+    def _error(self) -> Optional[BaseException]:
+        return self._error_box[0] if self._error_box else None
+
+    def start(self) -> "EvaluatorSession":
+        """Begin execution; must be called once before :meth:`feed`."""
+        if self._thread is not None:
+            raise EvaluationError("session already started")
+        self._thread = threading.Thread(
+            target=_drive_evaluator,
+            args=(self._evaluator, self._channel, self._sink, self._stats, self._error_box),
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def feed(self, events: Iterable[Event]) -> None:
+        """Push a batch of events into the running evaluation."""
+        if self._thread is None:
+            raise EvaluationError("feed() before start()")
+        if self._aborted:
+            raise EvaluationError("feed() on an aborted session")
+        if self._result is not None:
+            raise EvaluationError("feed() after finish()")
+        chunk = events if isinstance(events, list) else list(events)
+        if chunk:
+            self._channel.put(chunk)
+        if self._error is not None:
+            # Fail fast instead of at finish(); finish() re-raises too.
+            raise self._error
+
+    def finish(self) -> Tuple[str, RuntimeStats]:
+        """Close the input and return ``(output_xml, stats)``.
+
+        An aborted session has no result: its partial output must never be
+        mistaken for a completed evaluation, so finish() raises instead.
+        """
+        if self._thread is None:
+            raise EvaluationError("finish() before start()")
+        if self._aborted:
+            raise EvaluationError("finish() on an aborted session")
+        if self._result is None:
+            self._channel.close()
+            self._thread.join()
+            if self._error is not None:
+                raise self._error
+            self._result = (self._sink.getvalue(), self._stats)
+        return self._result
+
+    def abort(self) -> None:
+        """Stop the session, discarding its output and swallowing errors."""
+        if self._thread is None or self._result is not None or self._aborted:
+            return
+        self._aborted = True
+        self._channel.close()
+        self._thread.join()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.abort()
+        except Exception:
+            pass

@@ -88,6 +88,16 @@ class ConditionRegistry:
         """All registered conditions for ``element_type``."""
         return list(self._by_type.get(element_type, []))
 
+    def element_types(self) -> List[str]:
+        """Element types that have at least one registered condition.
+
+        The multi-query dispatcher uses this: children of such elements must
+        always be forwarded, because every child start tag steps the
+        element's content-model automaton and thereby decides *when* the
+        condition's on-first event fires.
+        """
+        return list(self._by_type)
+
     def __len__(self) -> int:
         return len(self._ids)
 

@@ -1,0 +1,39 @@
+"""Multi-query streaming service: N standing queries, one document scan.
+
+Public surface:
+
+* :class:`QueryService` — register many XQueries, execute them all in a
+  single shared pass with push-based ingestion;
+* :class:`SharedPass` — one in-flight pass (``feed(text)`` / ``finish()``);
+* :class:`PlanCache` / :class:`CacheStats` — LRU plan cache keyed by
+  ``(query text, DTD fingerprint)``;
+* :class:`PlanProfile` / :class:`SharedProjectionIndex` — the static
+  analysis behind the shared event filter;
+* :class:`ServiceMetrics` / :class:`PassMetrics` — accounting.
+"""
+
+from repro.service.dispatcher import (
+    PlanProfile,
+    SharedDispatcher,
+    SharedProjectionIndex,
+)
+from repro.service.metrics import PassMetrics, ServiceMetrics
+from repro.service.plan_cache import CacheStats, PlanCache, cache_key, dtd_fingerprint
+from repro.service.service import QueryService
+from repro.service.session import RegisteredQuery, SharedPass, SHARED_ENGINE_NAME
+
+__all__ = [
+    "QueryService",
+    "SharedPass",
+    "RegisteredQuery",
+    "SHARED_ENGINE_NAME",
+    "PlanCache",
+    "CacheStats",
+    "cache_key",
+    "dtd_fingerprint",
+    "PlanProfile",
+    "SharedDispatcher",
+    "SharedProjectionIndex",
+    "ServiceMetrics",
+    "PassMetrics",
+]

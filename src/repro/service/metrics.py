@@ -1,0 +1,90 @@
+"""Accounting for the multi-query service.
+
+Two layers of counters:
+
+* :class:`PassMetrics` — one shared scan: how many events the parser
+  produced, how many survived the shared projection filter, how many were
+  pruned (whole irrelevant subtrees) or dropped (character data no query can
+  observe).  ``events_saved_vs_solo`` quantifies the point of the service:
+  with N registered queries, N independent runs would have parsed the
+  document N times.
+* :class:`ServiceMetrics` — service lifetime: registrations, compilations,
+  passes, and the running totals across passes.  Plan-cache hit/miss counts
+  live on the cache itself (:class:`repro.service.plan_cache.CacheStats`)
+  and are merged into :meth:`ServiceMetrics.as_dict` by the service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PassMetrics:
+    """Counters for one shared pass over one document."""
+
+    queries: int = 0
+    document_bytes: int = 0
+    parser_events: int = 0
+    events_forwarded: int = 0
+    subtrees_pruned: int = 0
+    events_pruned: int = 0
+    text_events_dropped: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def events_saved_vs_solo(self) -> int:
+        """Parser events avoided versus one independent run per query."""
+        return max(0, self.queries - 1) * self.parser_events
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "document_bytes": self.document_bytes,
+            "parser_events": self.parser_events,
+            "events_forwarded": self.events_forwarded,
+            "subtrees_pruned": self.subtrees_pruned,
+            "events_pruned": self.events_pruned,
+            "text_events_dropped": self.text_events_dropped,
+            "events_saved_vs_solo": self.events_saved_vs_solo,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class ServiceMetrics:
+    """Lifetime counters of one :class:`~repro.service.service.QueryService`."""
+
+    queries_registered: int = 0
+    queries_unregistered: int = 0
+    passes_completed: int = 0
+    parser_events_total: int = 0
+    events_forwarded_total: int = 0
+    events_pruned_total: int = 0
+    text_events_dropped_total: int = 0
+    results_produced: int = 0
+    last_pass: PassMetrics = field(default_factory=PassMetrics)
+
+    def record_pass(self, pass_metrics: PassMetrics, results: int) -> None:
+        """Fold one completed pass into the lifetime totals."""
+        self.passes_completed += 1
+        self.parser_events_total += pass_metrics.parser_events
+        self.events_forwarded_total += pass_metrics.events_forwarded
+        self.events_pruned_total += pass_metrics.events_pruned
+        self.text_events_dropped_total += pass_metrics.text_events_dropped
+        self.results_produced += results
+        self.last_pass = pass_metrics
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries_registered": self.queries_registered,
+            "queries_unregistered": self.queries_unregistered,
+            "passes_completed": self.passes_completed,
+            "parser_events_total": self.parser_events_total,
+            "events_forwarded_total": self.events_forwarded_total,
+            "events_pruned_total": self.events_pruned_total,
+            "text_events_dropped_total": self.text_events_dropped_total,
+            "results_produced": self.results_produced,
+            "last_pass": self.last_pass.as_dict(),
+        }

@@ -1,0 +1,171 @@
+"""Registrations and shared-pass sessions of the multi-query service.
+
+A :class:`RegisteredQuery` is one standing query: its source text, its
+cached compilation, and its statically derived
+:class:`~repro.service.dispatcher.PlanProfile`.  A :class:`SharedPass` is
+one push-based scan of one document executing *all* registered queries: the
+service's incremental parser turns text chunks into events, the shared
+dispatcher filters them once, and each query's
+:class:`~repro.runtime.evaluator.EvaluatorSession` consumes the fan-out on
+its own worker.  ``finish()`` joins everything and returns one
+:class:`~repro.engines.base.QueryResult` per query, byte-identical to a
+solo ``FluxEngine.execute`` of the same query over the same document.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.dtd.schema import DTD
+from repro.dtd.validator import StreamingValidator
+from repro.engines.base import QueryResult
+from repro.runtime.compiler import CompiledQueryPlan
+from repro.runtime.evaluator import EvaluatorSession
+from repro.service.dispatcher import PlanProfile, SharedDispatcher, SharedProjectionIndex
+from repro.service.metrics import PassMetrics
+from repro.xmlstream.parser import StreamingXMLParser
+
+#: Engine label stamped on results produced by a shared pass.
+SHARED_ENGINE_NAME = "flux-shared"
+
+
+class RegisteredQuery:
+    """One standing query registered with a :class:`QueryService`."""
+
+    def __init__(self, key: str, entry: CompiledQueryPlan, from_cache: bool):
+        self.key = key
+        self.entry = entry
+        #: Whether registration was served from the plan cache.
+        self.from_cache = from_cache
+        self.profile = PlanProfile(entry)
+        self.passes = 0
+
+    @property
+    def source(self) -> str:
+        return self.entry.source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisteredQuery({self.key!r}, cached={self.from_cache})"
+
+
+class _QueryRun:
+    """One query's execution inside one shared pass."""
+
+    def __init__(self, registration: RegisteredQuery, dtd: Optional[DTD]):
+        self.registration = registration
+        # Validation runs once, in the dispatcher, over the unfiltered
+        # stream; the per-query XSAX readers only track on-first conditions.
+        self.session = EvaluatorSession(
+            registration.entry.plan, dtd, validate=False
+        ).start()
+
+    def feed(self, chunk) -> None:
+        self.session.feed(chunk)
+
+    def result(self) -> QueryResult:
+        output, stats = self.session.finish()
+        return QueryResult(
+            output=output,
+            stats=stats,
+            engine=SHARED_ENGINE_NAME,
+            query=self.registration.source,
+        )
+
+
+class SharedPass:
+    """One shared single-pass execution of all registered queries.
+
+    Documents are pushed as text with :meth:`feed` (any chunking) and closed
+    with :meth:`finish`, which returns ``{key: QueryResult}``.  A failing
+    pass (malformed or invalid input) aborts every per-query session before
+    re-raising, so no worker leaks.  The pass is also a context manager —
+    leaving the ``with`` block finishes it (or aborts it on an exception) —
+    and a pass dropped without either call is aborted by its finalizer, so
+    an abandoned pass cannot strand its per-query worker threads blocked on
+    input that will never arrive.
+    """
+
+    def __init__(
+        self,
+        registrations: List[RegisteredQuery],
+        dtd: Optional[DTD],
+        validate: bool,
+        chunk_size: int = 256,
+        on_complete=None,
+    ):
+        if not registrations:
+            raise ValueError("a shared pass needs at least one registered query")
+        self._registrations = list(registrations)
+        self._metrics = PassMetrics(queries=len(self._registrations))
+        self._runs = [_QueryRun(reg, dtd) for reg in self._registrations]
+        index = SharedProjectionIndex(
+            (reg.profile for reg in self._registrations), self._metrics
+        )
+        validator = StreamingValidator(dtd) if (validate and dtd is not None) else None
+        self._dispatcher = SharedDispatcher(
+            index, self._runs, validator=validator, chunk_size=chunk_size
+        )
+        self._parser = StreamingXMLParser.incremental()
+        self._results: Optional[Dict[str, QueryResult]] = None
+        self._on_complete = on_complete
+        self._started_at = time.perf_counter()
+
+    @property
+    def metrics(self) -> PassMetrics:
+        return self._metrics
+
+    def feed(self, text: str) -> None:
+        """Push the next chunk of document text into the pass."""
+        if self._results is not None:
+            raise ValueError("feed() after finish()")
+        # len(text) counts characters; the reported metric is bytes.
+        self._metrics.document_bytes += len(text.encode("utf-8"))
+        try:
+            self._dispatcher.dispatch(self._parser.feed(text))
+        except BaseException:
+            self.abort()
+            raise
+
+    def finish(self) -> Dict[str, QueryResult]:
+        """Close the input and return one result per registered query."""
+        if self._results is None:
+            try:
+                self._dispatcher.dispatch(self._parser.close())
+                self._dispatcher.flush()
+            except BaseException:
+                self.abort()
+                raise
+            results: Dict[str, QueryResult] = {}
+            try:
+                for run in self._runs:
+                    results[run.registration.key] = run.result()
+                    run.registration.passes += 1
+            except BaseException:
+                self.abort()
+                raise
+            self._metrics.elapsed_seconds = time.perf_counter() - self._started_at
+            self._results = results
+            if self._on_complete is not None:
+                self._on_complete(self._metrics, len(results))
+        return self._results
+
+    def abort(self) -> None:
+        """Tear down all per-query sessions, discarding partial output."""
+        for run in self._runs:
+            run.session.abort()
+
+    def __enter__(self) -> "SharedPass":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.finish()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.abort()
+        except Exception:
+            pass

@@ -21,6 +21,16 @@ Supported XML subset
 
 Out of scope (as for the paper): namespaces, external entities, and DTD-driven
 attribute defaulting.
+
+Incremental (push) mode
+-----------------------
+
+:meth:`StreamingXMLParser.incremental` builds a parser with no source; the
+caller pushes text with :meth:`StreamingXMLParser.feed`, which returns the
+events that became complete, and ends the document with
+:meth:`StreamingXMLParser.close`.  Events are identical to a one-shot parse of
+the concatenated chunks regardless of where the chunk boundaries fall — this
+is what the multi-query service uses to ingest documents as they arrive.
 """
 
 from __future__ import annotations
@@ -48,6 +58,15 @@ _PREDEFINED_ENTITIES = {
 
 _NAME_START_EXTRA = set("_:")
 _NAME_EXTRA = set("_:.-")
+
+
+class _Incomplete(Exception):
+    """Internal: the buffered input ends inside an unfinished construct.
+
+    Only raised in incremental mode; the main loop catches it and waits for
+    the next :meth:`StreamingXMLParser.feed` call.  Parsing methods never
+    consume input before raising, so a retry with more data is safe.
+    """
 
 
 def _is_name_start(ch: str) -> bool:
@@ -107,7 +126,9 @@ class StreamingXMLParser:
     Parameters
     ----------
     source:
-        XML text, or a file-like object with a ``read(size)`` method.
+        XML text, a file-like object with a ``read(size)`` method, or
+        ``None`` for incremental (push) mode, where input arrives through
+        :meth:`feed` / :meth:`close`.
     keep_whitespace:
         When ``True``, whitespace-only character data between elements is
         reported as :class:`Text` events instead of being dropped.
@@ -117,24 +138,55 @@ class StreamingXMLParser:
 
     def __init__(
         self,
-        source: Union[str, io.TextIOBase],
+        source: Union[str, io.TextIOBase, None],
         keep_whitespace: bool = False,
         chunk_size: int = 1 << 16,
     ):
-        if isinstance(source, str):
+        if source is None:
+            self._reader = None
+            self._buffer = ""
+            self._eof = False
+            self._push = True
+        elif isinstance(source, str):
             self._reader = None
             self._buffer = source
             self._eof = True
+            self._push = False
         else:
             self._reader = source
             self._buffer = ""
             self._eof = False
+            self._push = False
         self._pos = 0
         self._consumed = 0
         self._chunk_size = chunk_size
         self._keep_whitespace = keep_whitespace
+        self._closed = False
+        # Scan-resume memo for push mode: when a _find() stalls on
+        # _Incomplete, remember (needle, absolute construct start) and the
+        # absolute position already scanned, so the retry after the next
+        # feed() does not rescan the whole buffered construct (which would
+        # make a text node spanning K chunks cost O(K^2)).
+        self._resume_key: Optional[Tuple[str, int]] = None
+        self._resume_from = 0
+        # Push mode: a syntax error hit while earlier events of the same
+        # feed() are already complete is held back until the next call, so
+        # callers always receive the same event prefix a one-shot parse
+        # yields before raising.
+        self._deferred_error: Optional[XMLSyntaxError] = None
+        # Document-level state of the resumable main loop.
+        self._started = False
+        self._finished = False
+        self._depth = 0
+        self._saw_root = False
+        self._text_parts: List[str] = []
         self.doctype_internal_subset: Optional[str] = None
         self.doctype_name: Optional[str] = None
+
+    @classmethod
+    def incremental(cls, keep_whitespace: bool = False) -> "StreamingXMLParser":
+        """A push-mode parser: call :meth:`feed` / :meth:`close` on it."""
+        return cls(None, keep_whitespace=keep_whitespace)
 
     # ------------------------------------------------------------------ I/O
 
@@ -143,32 +195,86 @@ class StreamingXMLParser:
 
         Filling never shifts existing buffer indices; the consumed prefix is
         dropped separately by :meth:`_compact` at safe points of the main
-        loop, so in-flight index arithmetic stays valid.
+        loop, so in-flight index arithmetic stays valid.  In push mode,
+        raises :class:`_Incomplete` when the data is not there yet.
         """
         while not self._eof and len(self._buffer) - self._pos < need:
+            if self._reader is None:
+                if self._closed:
+                    self._eof = True
+                    break
+                raise _Incomplete()
             chunk = self._reader.read(self._chunk_size)
             if not chunk:
                 self._eof = True
                 break
-            self._buffer += chunk
+            self._append(chunk)
+
+    def _append(self, data: str) -> None:
+        """Append ``data`` to the buffer in amortized O(len(data)).
+
+        ``self._buffer += data`` on the attribute always copies the whole
+        buffer (the attribute slot keeps a second reference), turning a
+        construct spanning K chunks into O(K^2) total copying.  Detaching
+        the string into a sole-reference local first lets CPython extend it
+        in place.
+        """
+        buffer = self._buffer
+        self._buffer = ""
+        buffer += data
+        self._buffer = buffer
 
     def _compact(self) -> None:
-        """Drop the already-consumed buffer prefix to keep memory bounded."""
+        """Drop the already-consumed buffer prefix to keep memory bounded.
+
+        Only once the prefix outgrows a chunk: compacting on every construct
+        would copy the buffer tail per element (a ~chunk_size/construct_size
+        constant-factor tax on the whole parse).  String sources never
+        compact — the document is resident anyway, and slicing it per
+        construct would cost O(n^2).
+        """
+        if self._reader is None and not self._push:
+            return
+        if self._pos >= self._chunk_size:
+            self._force_compact()
+
+    def _force_compact(self) -> None:
         if self._pos > 0:
             self._consumed += self._pos
             self._buffer = self._buffer[self._pos :]
             self._pos = 0
 
     def _find(self, needle: str, start: int) -> int:
-        """Find ``needle`` at/after buffer index ``start``, filling as needed."""
+        """Find ``needle`` at/after buffer index ``start``, filling as needed.
+
+        In push mode the search position survives an :class:`_Incomplete`
+        stall (in absolute offsets, so buffer compaction cannot skew it):
+        re-entering the same scan resumes where the last one stopped.
+        """
+        key = (needle, self._offset(start))
+        if self._resume_key == key:
+            start = max(start, self._resume_from - self._consumed)
         while True:
             idx = self._buffer.find(needle, start)
             if idx >= 0:
+                # Clear only this scan's memo: the _find("<") that re-enters
+                # a stalled construct on every retry must not discard the
+                # inner end-scan's progress (that would make a CDATA or
+                # comment spanning K chunks cost O(K^2) again).
+                if self._resume_key == key:
+                    self._resume_key = None
                 return idx
             if self._eof:
+                if self._resume_key == key:
+                    self._resume_key = None
                 return -1
             search_from = max(start, len(self._buffer) - len(needle) + 1)
-            self._fill(len(self._buffer) - self._pos + self._chunk_size)
+            try:
+                self._fill(len(self._buffer) - self._pos + self._chunk_size)
+            except _Incomplete:
+                self._resume_key = key
+                self._resume_from = self._offset(search_from)
+                raise
             start = search_from
 
     def _offset(self, buffer_index: int) -> int:
@@ -178,63 +284,146 @@ class StreamingXMLParser:
     # ------------------------------------------------------------ main loop
 
     def events(self) -> Iterator[Event]:
-        """Yield the event stream for the whole document."""
-        yield StartDocument()
-        depth = 0
-        saw_root = False
-        text_parts: List[str] = []
-
-        while True:
-            self._compact()
-            self._fill(1)
-            if self._pos >= len(self._buffer):
-                break
-            lt = self._find("<", self._pos)
-            if lt < 0:
-                # Trailing character data after the last tag.
-                text_parts.append(self._buffer[self._pos :])
-                self._pos = len(self._buffer)
-                break
-            if lt > self._pos:
-                text_parts.append(self._buffer[self._pos : lt])
-                self._pos = lt
-            flushed = self._flush_text(text_parts, depth)
-            if flushed is not None:
-                yield flushed
-            event, closed = self._parse_markup()
-            if event is None:
-                continue
-            if isinstance(event, StartElement):
-                if depth == 0 and saw_root:
-                    raise XMLSyntaxError(
-                        "multiple root elements", self._offset(self._pos)
-                    )
-                saw_root = True
+        """Yield the event stream for the whole document (pull mode only)."""
+        if self._push:
+            raise ValueError(
+                "events() needs a source; an incremental parser is driven "
+                "with feed()/close()"
+            )
+        while not self._finished:
+            for event in self._advance():
                 yield event
-                if closed:
-                    yield EndElement(event.name)
-                else:
-                    depth += 1
-            elif isinstance(event, EndElement):
-                depth -= 1
-                if depth < 0:
-                    raise XMLSyntaxError(
-                        f"unexpected closing tag </{event.name}>", self._offset(self._pos)
-                    )
-                yield event
-            else:  # pragma: no cover - defensive
-                yield event
-
-        flushed = self._flush_text(text_parts, depth)
-        if flushed is not None and depth > 0:
-            yield flushed
-        if depth != 0:
-            raise XMLSyntaxError("unexpected end of document: unclosed elements")
-        if not saw_root:
-            raise XMLSyntaxError("document has no root element")
-        yield EndDocument()
 
     __iter__ = events
+
+    # ----------------------------------------------------------- push mode
+
+    def feed(self, data: str) -> List[Event]:
+        """Push ``data`` into the parser, returning the completed events.
+
+        Only available on :meth:`incremental` parsers.  Events are exactly
+        those a one-shot parse would have produced by this point; input that
+        ends inside an unfinished construct is retained until more data (or
+        :meth:`close`) arrives.
+        """
+        if not self._push:
+            raise ValueError("feed() is only available on incremental parsers")
+        if self._closed:
+            raise ValueError("feed() called after close()")
+        self._append(data)
+        return self._pump()
+
+    def close(self) -> List[Event]:
+        """Signal end of input, returning the remaining events.
+
+        Raises :class:`~repro.errors.XMLSyntaxError` if the document is
+        incomplete (unclosed elements, no root, an unfinished construct).
+        """
+        if not self._push:
+            raise ValueError("close() is only available on incremental parsers")
+        self._closed = True
+        return self._pump()
+
+    def _pump(self) -> List[Event]:
+        """Run the step machine until it stalls, collecting events."""
+        if self._deferred_error is not None:
+            raise self._deferred_error
+        collected: List[Event] = []
+        while not self._finished:
+            try:
+                collected.extend(self._advance())
+            except _Incomplete:
+                break
+            except XMLSyntaxError as exc:
+                if not collected:
+                    raise
+                self._deferred_error = exc
+                break
+        return collected
+
+    # ------------------------------------------------------- the step loop
+
+    def _advance(self) -> List[Event]:
+        """Parse one step, returning its events (resumable on _Incomplete).
+
+        One step is the document start, one markup construct (with any text
+        preceding it), or the document end.  State mutated before an
+        :class:`_Incomplete` escape is limited to already-complete text
+        moved into ``self._text_parts``, so re-entering is always safe.
+        """
+        out: List[Event] = []
+        if self._finished:
+            return out
+        if not self._started:
+            self._started = True
+            out.append(StartDocument())
+            return out
+        self._compact()
+        self._fill(1)
+        if self._pos >= len(self._buffer):
+            return self._finish_document(out)
+        try:
+            lt = self._find("<", self._pos)
+        except _Incomplete:
+            # The scan covered the whole buffer without a "<": everything
+            # seen is character data.  Bank it and drop it from the buffer,
+            # so a text node spanning K chunks costs O(K) — the buffer (and
+            # each feed()'s string concatenation) stays one chunk long.
+            if len(self._buffer) > self._pos:
+                self._text_parts.append(self._buffer[self._pos :])
+                self._pos = len(self._buffer)
+                self._force_compact()
+            raise
+        if lt < 0:
+            # Trailing character data after the last tag.
+            self._text_parts.append(self._buffer[self._pos :])
+            self._pos = len(self._buffer)
+            return self._finish_document(out)
+        if lt > self._pos:
+            self._text_parts.append(self._buffer[self._pos : lt])
+            self._pos = lt
+        flushed = self._flush_text(self._text_parts, self._depth)
+        if flushed is not None:
+            out.append(flushed)
+        try:
+            event, closed = self._parse_markup()
+        except _Incomplete:
+            if out:
+                return out
+            raise
+        if event is None:
+            return out
+        if isinstance(event, StartElement):
+            if self._depth == 0 and self._saw_root:
+                raise XMLSyntaxError("multiple root elements", self._offset(self._pos))
+            self._saw_root = True
+            out.append(event)
+            if closed:
+                out.append(EndElement(event.name))
+            else:
+                self._depth += 1
+        elif isinstance(event, EndElement):
+            self._depth -= 1
+            if self._depth < 0:
+                raise XMLSyntaxError(
+                    f"unexpected closing tag </{event.name}>", self._offset(self._pos)
+                )
+            out.append(event)
+        else:  # pragma: no cover - defensive
+            out.append(event)
+        return out
+
+    def _finish_document(self, out: List[Event]) -> List[Event]:
+        flushed = self._flush_text(self._text_parts, self._depth)
+        if flushed is not None and self._depth > 0:
+            out.append(flushed)
+        if self._depth != 0:
+            raise XMLSyntaxError("unexpected end of document: unclosed elements")
+        if not self._saw_root:
+            raise XMLSyntaxError("document has no root element")
+        out.append(EndDocument())
+        self._finished = True
+        return out
 
     # ------------------------------------------------------------- helpers
 
@@ -257,9 +446,20 @@ class StreamingXMLParser:
         Returns ``(event, self_closed)``; ``event`` is ``None`` for skipped
         constructs (comments, PIs, doctype, XML declaration).
         """
-        self._fill(4)
-        buf = self._buffer
+        # Look ahead just far enough to discriminate the construct: "<!" may
+        # open a comment (4 chars), CDATA or DOCTYPE (9 chars).  Requesting
+        # only what the marker requires keeps push-mode latency minimal and
+        # fixes misparsing when a chunk boundary splits "<!DOCTYPE"/"<![CDATA[".
+        self._fill(2)
         pos = self._pos
+        if self._buffer.startswith("<!", pos):
+            self._fill(3)
+            marker = self._buffer[pos + 2 : pos + 3]
+            if marker == "-":
+                self._fill(4)
+            elif marker in ("[", "D"):
+                self._fill(9)
+        buf = self._buffer
         if buf.startswith("<!--", pos):
             end = self._find("-->", pos + 4)
             if end < 0:
@@ -300,12 +500,13 @@ class StreamingXMLParser:
         subset_start = -1
         subset_end = -1
         while True:
-            self._fill(len(self._buffer) - self._pos + 1)
+            # Request exactly up to index i — asking for more than is
+            # buffered would stall a push-mode parse for the rest of the
+            # document instead of just to the end of the declaration.
+            self._fill(i - self._pos + 1)
             buf = self._buffer
             if i >= len(buf):
-                if self._eof:
-                    raise XMLSyntaxError("unterminated DOCTYPE", self._offset(pos))
-                continue
+                raise XMLSyntaxError("unterminated DOCTYPE", self._offset(pos))
             ch = buf[i]
             if ch == "[" and subset_start < 0:
                 subset_start = i + 1

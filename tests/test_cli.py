@@ -58,6 +58,72 @@ class TestExplainCommand:
         assert "safe" in captured.out
 
 
+class TestOutputConsistency:
+    def test_file_and_stdout_results_are_identical(self, files, capsys):
+        """--output files carry the same trailing newline as stdout."""
+        output = files["dir"] / "out.xml"
+        main(["run", "-q", files["query"], "-i", files["document"],
+              "-d", files["dtd"], "-o", str(output)])
+        main(["run", "-q", files["query"], "-i", files["document"],
+              "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert output.read_text() == captured.out
+        assert captured.out.endswith("\n")
+
+
+class TestMultiCommand:
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        (queries / "titles.xq").write_text(
+            "<titles>{ for $b in $ROOT/bib/book return $b/title }</titles>"
+        )
+        (queries / "notes.txt").write_text("not a query")
+        return queries
+
+    def test_multi_runs_all_queries_in_one_pass(self, files, query_dir, capsys):
+        exit_code = main(["multi", "--queries", str(query_dir),
+                          "-i", files["document"], "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "<!-- q3 -->" in captured.out
+        assert "<!-- titles -->" in captured.out
+        assert "<titles>" in captured.out
+        assert "[shared pass] 2 queries" in captured.err
+        assert "saved vs. solo runs" in captured.err
+
+    def test_multi_matches_solo_run(self, files, query_dir, capsys):
+        outdir = files["dir"] / "results"
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "-O", str(outdir)])
+        assert exit_code == 0
+        main(["run", "-q", files["query"], "-i", files["document"],
+              "-d", files["dtd"]])
+        solo_stdout = capsys.readouterr().out
+        assert (outdir / "q3.xml").read_text() == solo_stdout
+
+    def test_multi_writes_json_metrics(self, files, query_dir, capsys):
+        import json
+
+        json_path = files["dir"] / "metrics.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "-j", str(json_path)])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["last_pass"]["queries"] == 2
+        assert payload["plan_cache"]["misses"] == 2
+        assert set(payload["results"]) == {"q3", "titles"}
+
+    def test_multi_without_queries_errors(self, files, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        exit_code = main(["multi", "-Q", str(empty), "-i", files["document"]])
+        assert exit_code == 2
+        assert "no *.xq files" in capsys.readouterr().err
+
+
 class TestCompareCommand:
     def test_compare_prints_tables(self, files, capsys):
         exit_code = main(["compare", "-q", files["query"], "-i", files["document"],

@@ -1,0 +1,127 @@
+"""Plan cache: hits, misses, DTD-fingerprint invalidation, eviction, stats."""
+
+import pytest
+
+from repro.core.optimizer import OptimizerPipeline
+from repro.dtd.parser import parse_dtd
+from repro.service.plan_cache import NO_DTD_FINGERPRINT, PlanCache, cache_key, dtd_fingerprint
+from repro.workloads.queries import get_query
+
+from tests.conftest import PAPER_FIGURE1_DTD, PAPER_WEAK_DTD, PAPER_Q3
+
+
+@pytest.fixture
+def strong_pipeline():
+    return OptimizerPipeline(parse_dtd(PAPER_FIGURE1_DTD))
+
+
+@pytest.fixture
+def weak_pipeline():
+    return OptimizerPipeline(parse_dtd(PAPER_WEAK_DTD))
+
+
+class TestDtdFingerprint:
+    def test_equal_dtds_share_a_fingerprint(self):
+        assert dtd_fingerprint(parse_dtd(PAPER_FIGURE1_DTD)) == dtd_fingerprint(
+            parse_dtd(PAPER_FIGURE1_DTD)
+        )
+
+    def test_different_dtds_differ(self):
+        assert dtd_fingerprint(parse_dtd(PAPER_FIGURE1_DTD)) != dtd_fingerprint(
+            parse_dtd(PAPER_WEAK_DTD)
+        )
+
+    def test_declaration_order_is_irrelevant(self):
+        reordered = "\n".join(reversed(PAPER_FIGURE1_DTD.strip().splitlines()))
+        # Same declarations, same root (explicitly the unique non-child).
+        assert dtd_fingerprint(parse_dtd(PAPER_FIGURE1_DTD)) == dtd_fingerprint(
+            parse_dtd(reordered)
+        )
+
+    def test_no_dtd_sentinel(self):
+        from repro.service.plan_cache import DEFAULT_PIPELINE_CONFIG
+
+        assert dtd_fingerprint(None) == NO_DTD_FINGERPRINT
+        assert cache_key("q", None) == ("q", NO_DTD_FINGERPRINT, DEFAULT_PIPELINE_CONFIG)
+        assert cache_key("q", None, "10101") == ("q", NO_DTD_FINGERPRINT, "10101")
+
+
+class TestPlanCache:
+    def test_hit_on_identical_query_and_dtd(self, strong_pipeline):
+        cache = PlanCache()
+        first, first_cached = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        second, second_cached = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert second is first
+        assert (first_cached, second_cached) == (False, True)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert len(cache) == 1
+
+    def test_miss_on_different_dtd(self, strong_pipeline, weak_pipeline):
+        cache = PlanCache()
+        strong_plan, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        weak_plan, _ = cache.get_or_compile(PAPER_Q3, weak_pipeline)
+        assert weak_plan is not strong_plan
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+        # Both schema variants stay resident side by side.
+        assert cache.get(PAPER_Q3, strong_pipeline.dtd) is strong_plan
+        assert cache.get(PAPER_Q3, weak_pipeline.dtd) is weak_plan
+
+    def test_miss_on_different_pipeline_config(self, strong_pipeline):
+        # An ablation pipeline must never be served a plan compiled with
+        # the full optimizer (the plans produce different FluX queries).
+        cache = PlanCache()
+        ablated = OptimizerPipeline(
+            strong_pipeline.dtd,
+            enable_loop_merging=False,
+            use_order_constraints=False,
+        )
+        full_plan, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        ablated_plan, _ = cache.get_or_compile(PAPER_Q3, ablated)
+        assert ablated_plan is not full_plan
+        assert cache.stats.misses == 2
+        assert len(cache) == 2
+        assert cache.get_or_compile(PAPER_Q3, ablated) == (ablated_plan, True)
+
+    def test_miss_on_different_query(self, strong_pipeline):
+        cache = PlanCache()
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(get_query("BIB-Q1").xquery, strong_pipeline)
+        assert cache.stats.misses == 2
+
+    def test_lru_eviction(self, strong_pipeline):
+        cache = PlanCache(capacity=2)
+        q1 = get_query("BIB-Q1").xquery
+        q2 = get_query("BIB-Q2").xquery
+        q3 = get_query("BIB-Q4").xquery
+        cache.get_or_compile(q1, strong_pipeline)
+        cache.get_or_compile(q2, strong_pipeline)
+        cache.get_or_compile(q1, strong_pipeline)  # refresh q1
+        cache.get_or_compile(q3, strong_pipeline)  # evicts q2 (LRU)
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+        assert cache.get(q2, strong_pipeline.dtd) is None  # counted as a miss
+        assert cache.get(q1, strong_pipeline.dtd) is not None
+
+    def test_stats_counters_and_hit_rate(self, strong_pipeline):
+        cache = PlanCache()
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        stats = cache.stats.as_dict()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_clear_keeps_stats(self, strong_pipeline):
+        cache = PlanCache()
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
