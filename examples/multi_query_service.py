@@ -16,7 +16,11 @@ document can arrive in arbitrary chunks.  The example shows:
    independent engine runs,
 3. push-based ingestion (``open_pass`` / ``feed`` / ``finish``) with the
    document arriving in 1 kB chunks,
-4. that every result is byte-identical to a solo ``FluxEngine`` run.
+4. that every result is byte-identical to a solo ``FluxEngine`` run,
+5. per-query routing — each query receives only the events *its* profile
+   admits, not the fleet union — and the threadless inline scheduler
+   (``execution="inline"``) producing the same bytes with zero worker
+   threads.
 """
 
 from repro import FluxEngine, QueryService
@@ -46,11 +50,14 @@ def main() -> None:
     print(f"  parser events          : {metrics.parser_events}")
     print(f"  saved vs. solo runs    : {metrics.events_saved_vs_solo}")
     print(f"  pruned by projection   : {metrics.events_pruned}")
+    print(f"  union forwarded        : {metrics.events_forwarded}")
     print(f"  wall time              : {metrics.elapsed_seconds * 1000:.1f} ms\n")
     for key in sorted(results):
         result = results[key]
+        routed = metrics.per_query_forwarded.get(key, 0)
         print(f"  [{key:<9}] {len(result.output):>6} B output, "
-              f"peak buffer {result.peak_buffer_bytes} B")
+              f"peak buffer {result.peak_buffer_bytes} B, "
+              f"routed {routed}/{metrics.events_forwarded} events")
 
     # 3. Push-based ingestion: the same pass, document arriving in chunks.
     shared_pass = service.open_pass()
@@ -68,6 +75,22 @@ def main() -> None:
         solo = engine.execute(spec.xquery, document)
         assert results[spec.key].output == solo.output
     print("every shared result is byte-identical to its solo FluxEngine run")
+
+    # 5. The inline scheduler: same pass, no worker threads — the
+    #    re-entrant evaluators are round-robined on this very thread.
+    import threading
+
+    inline_service = QueryService(dtd, execution="inline")
+    for spec in specs:
+        inline_service.register(spec.xquery, key=spec.key)
+    threads_before = threading.active_count()
+    inline_results = inline_service.run_pass(document)
+    assert threading.active_count() == threads_before
+    assert all(
+        inline_results[key].output == results[key].output
+        for key in inline_results
+    )
+    print("inline execution (zero worker threads) produced identical results")
 
 
 if __name__ == "__main__":

@@ -19,10 +19,12 @@ Installed as the ``fluxrepro`` console script, or run as a module::
   document in a single shared pass: every query is compiled through the
   service plan cache and executed by the multi-query
   :class:`~repro.service.QueryService`, so the document is parsed and
-  validated once, not once per query.  Results go to ``--output-dir`` (one
-  ``<name>.xml`` per query) or stdout; per-query statistics and the shared
-  scan's savings are reported on stderr, and ``--json`` dumps them
-  machine-readably.
+  validated once, not once per query; each query receives only the events
+  the shared router deems relevant to *it*.  ``--execution inline`` swaps
+  the per-query worker threads for the round-robin in-thread scheduler.
+  Results go to ``--output-dir`` (one ``<name>.xml`` per query) or stdout;
+  per-query statistics and the shared scan's savings are reported on
+  stderr, and ``--json`` dumps them machine-readably.
 
 Queries and documents are read from files; ``-`` means stdin.  The DTD can
 be given explicitly with ``--dtd``; otherwise, if the document carries a
@@ -160,7 +162,7 @@ def _command_multi(args: argparse.Namespace) -> int:
         else:
             with open(args.input, "r", encoding="utf-8") as prolog:
                 dtd = _load_dtd(None, prolog)
-    service = QueryService(dtd, validate=not args.no_validate)
+    service = QueryService(dtd, validate=not args.no_validate, execution=args.execution)
     for name in query_files:
         key = os.path.splitext(name)[0]
         service.register(_read(os.path.join(args.queries, name)), key=key)
@@ -178,10 +180,12 @@ def _command_multi(args: argparse.Namespace) -> int:
         else:
             sys.stdout.write(f"<!-- {key} -->\n")
             _write_result(result.output, None)
+        routed = service.metrics.last_pass.per_query_forwarded.get(key)
+        routed_note = f", routed: {routed}" if routed is not None else ""
         print(
             f"[{key}] peak buffer: {result.peak_buffer_bytes} B, "
             f"time: {result.stats.elapsed_seconds * 1000:.1f} ms, "
-            f"events: {result.stats.events_processed}",
+            f"events: {result.stats.events_processed}{routed_note}",
             file=sys.stderr,
         )
     metrics = service.metrics.last_pass
@@ -244,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     multi_parser.add_argument("--json", "-j", help="write service metrics/results as JSON")
     multi_parser.add_argument("--no-validate", action="store_true", help="skip DTD validation")
+    multi_parser.add_argument(
+        "--execution",
+        "-x",
+        choices=["threads", "inline"],
+        default="threads",
+        help="per-query runtime driver: worker threads (default) or the "
+        "inline round-robin scheduler on the dispatch thread",
+    )
     multi_parser.set_defaults(handler=_command_multi)
 
     return parser

@@ -35,13 +35,28 @@ the memory benchmarks report.
 Push-based execution
 --------------------
 
-The evaluator itself pulls events.  :class:`EvaluatorSession` inverts that
-control so callers can *push* events instead: it runs the evaluator on a
-worker thread that drains a bounded :class:`EventChannel`, giving every
-compiled plan a ``start() / feed(events) / finish()`` life cycle.  This is
-the substrate of the multi-query service (``repro.service``), where one
-shared document scan fans out to many concurrently executing plans with
-back-pressure instead of unbounded queueing.
+The evaluator's control flow is written as re-entrant generators: every
+method that may consume an input event is a coroutine that *suspends* (with
+a plain ``yield``) whenever the event source signals :class:`StarvedInput`.
+Over an ordinary pull source (an iterator that blocks or ends) the
+generators never suspend, so one-shot :meth:`StreamedEvaluator.run` keeps
+the paper's pull semantics unchanged.
+
+:class:`EvaluatorSession` inverts that control so callers can *push* events
+instead, giving every compiled plan a ``start() / feed(events) / finish()``
+life cycle in one of two execution modes:
+
+* ``"threads"`` — the evaluator runs on a worker thread draining a bounded
+  :class:`EventChannel`; ``feed`` hands chunks across with back-pressure.
+* ``"inline"`` — no worker thread at all: ``feed`` appends events to an
+  in-process buffer and resumes the suspended evaluation generator on the
+  *caller's* thread until it starves again.  This removes the per-chunk
+  GIL hand-off entirely and is what the multi-query service's round-robin
+  scheduler drives.
+
+Both modes are the substrate of the multi-query service (``repro.service``),
+where one shared document scan fans out to many concurrently executing
+plans.
 """
 
 from __future__ import annotations
@@ -50,6 +65,7 @@ import io
 import math
 import queue
 import threading
+from collections import deque
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.dtd.schema import DTD
@@ -107,6 +123,42 @@ class _Scope:
 Binding = Union[_Scope, XMLElement, str, int, float]
 
 
+class StarvedInput(Exception):
+    """Raised by a non-blocking event source that has no event *yet*.
+
+    Unlike ``StopIteration`` this does not mean end of input: the source may
+    receive more events later.  The evaluator reacts by suspending its
+    execution generator; resuming it retries the same pull.  Sources that
+    can raise this must do so *before* mutating any state, so the retry is
+    exact (both :class:`_InlineSource` and :class:`~repro.runtime.xsax
+    .XSAXReader` — which merely propagates it from its underlying source —
+    satisfy this).
+    """
+
+
+#: Yielded by the execution generators while their input source is starved.
+_NEED_INPUT = object()
+
+#: Returned by :func:`_pull` when the source is exhausted for good.
+_END_OF_INPUT = object()
+
+
+def _pull(source: Iterator[Event]):
+    """Coroutine: the next event from ``source``, or ``_END_OF_INPUT``.
+
+    Suspends (yielding ``_NEED_INPUT``) for as long as the source raises
+    :class:`StarvedInput`; pull-based sources never do, so callers driving
+    a pull source run straight through.
+    """
+    while True:
+        try:
+            return next(source)
+        except StopIteration:
+            return _END_OF_INPUT
+        except StarvedInput:
+            yield _NEED_INPUT
+
+
 class StreamedEvaluator:
     """Executes a physical plan over an input event stream."""
 
@@ -132,6 +184,31 @@ class StreamedEvaluator:
 
         Returns the runtime statistics (buffer peak, counters, timing).
         """
+        generator = self.execute(events, output, stats)
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+        # A pull source never raises StarvedInput, so the generator runs to
+        # completion in one step; getting here means the caller handed a
+        # push-mode source to the pull-mode driver.
+        generator.close()
+        raise EvaluationError("run() requires a pull source; use execute() for push mode")
+
+    def execute(
+        self,
+        events: Iterable[Event],
+        output: Optional[io.TextIOBase] = None,
+        stats: Optional[RuntimeStats] = None,
+    ):
+        """The evaluation as a re-entrant generator (returns the stats).
+
+        Yields ``_NEED_INPUT`` whenever ``events`` raises
+        :class:`StarvedInput`; resume the generator once more input is
+        available.  Over a pull source this never yields and a single
+        ``next()`` drives the evaluation to completion (``StopIteration
+        .value`` carries the stats).
+        """
         self._stats = stats if stats is not None else RuntimeStats()
         self._buffers = BufferManager(self._stats)
         sink = output if output is not None else io.StringIO()
@@ -142,8 +219,8 @@ class StreamedEvaluator:
             reader = XSAXReader(
                 events, self.dtd, self.plan.conditions, validate=self.validate, stats=self._stats
             )
-            first = next(reader, None)
-            if first is not None and not isinstance(first, StartDocument):
+            first = yield from _pull(reader)
+            if first is not _END_OF_INPUT and not isinstance(first, StartDocument):
                 raise EvaluationError("input stream did not start with StartDocument")
             document_scope = _Scope(
                 tag="#document",
@@ -153,7 +230,7 @@ class StreamedEvaluator:
                 is_document=True,
             )
             self._env["ROOT"] = document_scope
-            self._eval(self.plan.root)
+            yield from self._eval(self.plan.root)
             self._serializer.close()
             document_scope.buffers.close()
         finally:
@@ -171,21 +248,23 @@ class StreamedEvaluator:
 
     # ---------------------------------------------------------- evaluation
 
-    def _eval(self, op: PlanOp) -> None:
+    def _eval(self, op: PlanOp):
+        # A coroutine (as is everything below that can pull input events):
+        # ``yield from`` chains propagate input starvation up to execute().
         if isinstance(op, SequenceOp):
             for item in op.items:
-                self._eval(item)
+                yield from self._eval(item)
             return
         if isinstance(op, TextOp):
             self._serializer.write(Text(op.text))
             return
         if isinstance(op, ConstructorOp):
             self._serializer.write(StartElement(op.name, op.attributes))
-            self._eval(op.content)
+            yield from self._eval(op.content)
             self._serializer.write(EndElement(op.name))
             return
         if isinstance(op, CopyVarOp):
-            self._eval_copy(op)
+            yield from self._eval_copy(op)
             return
         if isinstance(op, BufferedEvalOp):
             self._eval_buffered(op)
@@ -193,10 +272,10 @@ class StreamedEvaluator:
         if isinstance(op, IfOp):
             evaluator = TreeEvaluator(self._evaluation_bindings())
             branch = op.then_branch if evaluator.evaluate_boolean(op.condition) else op.else_branch
-            self._eval(branch)
+            yield from self._eval(branch)
             return
         if isinstance(op, ProcessStreamOp):
-            self._eval_process_stream(op)
+            yield from self._eval_process_stream(op)
             return
         raise EvaluationError(f"cannot execute plan operator {op!r}")
 
@@ -223,13 +302,13 @@ class StreamedEvaluator:
         evaluator = TreeEvaluator(self._evaluation_bindings())
         self._write_items(evaluator.evaluate(op.expr))
 
-    def _eval_copy(self, op: CopyVarOp) -> None:
+    def _eval_copy(self, op: CopyVarOp):
         binding = self._env.get(op.var)
         if binding is None:
             raise EvaluationError(f"copy of unbound variable ${op.var}")
         if isinstance(binding, _Scope):
             if not binding.consumed and binding.buffers.full_element is None:
-                self._stream_copy(binding)
+                yield from self._stream_copy(binding)
                 return
             element = StreamScopeNode(binding.tag, binding.attrs, binding.buffers).to_element()
             for event in tree_to_events(element):
@@ -241,11 +320,14 @@ class StreamedEvaluator:
             return
         self._serializer.write(Text(string_value(binding)))
 
-    def _stream_copy(self, scope: _Scope) -> None:
+    def _stream_copy(self, scope: _Scope):
         """Copy the scope's element to the output directly from the stream."""
         self._serializer.write(StartElement(scope.tag, tuple(scope.attrs.items())))
         depth = 0
-        for event in scope.source:
+        while True:
+            event = yield from _pull(scope.source)
+            if event is _END_OF_INPUT:
+                break
             if isinstance(event, OnFirstEvent):
                 continue
             if isinstance(event, StartElement):
@@ -276,7 +358,7 @@ class StreamedEvaluator:
 
     # ------------------------------------------------------ process-stream
 
-    def _eval_process_stream(self, op: ProcessStreamOp) -> None:
+    def _eval_process_stream(self, op: ProcessStreamOp):
         binding = self._env.get(op.var)
         if not isinstance(binding, _Scope):
             raise EvaluationError(
@@ -293,7 +375,7 @@ class StreamedEvaluator:
         satisfied: set = set()
         fired: set = set()
 
-        def fire_ready(max_index: float) -> None:
+        def fire_ready(max_index: float):
             for handler in on_first_handlers:
                 if handler.index in fired:
                     continue
@@ -305,18 +387,21 @@ class StreamedEvaluator:
                 if not ready:
                     break
                 fired.add(handler.index)
-                self._eval(handler.body)
+                yield from self._eval(handler.body)
 
-        def fire_remaining() -> None:
+        def fire_remaining():
             for handler in on_first_handlers:
                 if handler.index not in fired:
                     fired.add(handler.index)
-                    self._eval(handler.body)
+                    yield from self._eval(handler.body)
 
         if op.buffer_whole:
             scope.buffers.ensure_full_element(scope.tag, scope.attrs)
 
-        for event in scope.source:
+        while True:
+            event = yield from _pull(scope.source)
+            if event is _END_OF_INPUT:
+                break
             if isinstance(event, OnFirstEvent):
                 satisfied.add(event.condition_id)
                 continue
@@ -325,15 +410,15 @@ class StreamedEvaluator:
                     scope.buffers.append_full_text(event.text)
                 continue
             if isinstance(event, StartElement):
-                self._process_child(op, scope, event, fire_ready)
+                yield from self._process_child(op, scope, event, fire_ready)
                 continue
             if isinstance(event, (EndElement, EndDocument)):
-                fire_remaining()
+                yield from fire_remaining()
                 scope.consumed = True
                 return
         # The source was exhausted without an explicit end event (replayed
         # subtrees end exactly at their closing tag).
-        fire_remaining()
+        yield from fire_remaining()
         scope.consumed = True
 
     def _process_child(
@@ -342,46 +427,46 @@ class StreamedEvaluator:
         scope: _Scope,
         event: StartElement,
         fire_ready,
-    ) -> None:
+    ):
         label = event.name
         handler_index = op.on_index.get(label)
         max_index = handler_index if handler_index is not None else math.inf
         need_buffer = op.buffer_whole or label in op.buffer_labels
         subtree: Optional[XMLElement] = None
         if need_buffer:
-            subtree = self._materialize(event, scope.source)
+            subtree = yield from self._materialize(event, scope.source)
             if op.buffer_whole:
                 scope.buffers.append_full_child(subtree)
             else:
                 scope.buffers.add_child(label, subtree)
-        fire_ready(max_index)
+        yield from fire_ready(max_index)
         if handler_index is not None:
             handler = op.handlers[handler_index]
             assert isinstance(handler, OnHandlerOp)
             if subtree is not None:
-                self._run_handler_on_tree(handler, subtree)
+                yield from self._run_handler_on_tree(handler, subtree)
             else:
-                self._run_handler_streaming(handler, event, scope.source)
+                yield from self._run_handler_streaming(handler, event, scope.source)
         elif subtree is None:
-            self._skip_subtree(scope.source)
+            yield from self._skip_subtree(scope.source)
 
     # ------------------------------------------------------------ handlers
 
     def _run_handler_streaming(
         self, handler: OnHandlerOp, event: StartElement, source: Iterator[Event]
-    ) -> None:
+    ):
         child_scope = _Scope(
             tag=event.name,
             attrs=event.attributes,
             source=source,
             buffers=ScopeBuffers(self._buffers),
         )
-        self._with_binding(handler.var, child_scope, handler.body)
+        yield from self._with_binding(handler.var, child_scope, handler.body)
         if not child_scope.consumed:
-            self._skip_subtree(source)
+            yield from self._skip_subtree(source)
         child_scope.buffers.close()
 
-    def _run_handler_on_tree(self, handler: OnHandlerOp, subtree: XMLElement) -> None:
+    def _run_handler_on_tree(self, handler: OnHandlerOp, subtree: XMLElement):
         events = tree_to_events(subtree)
         # Skip the subtree's own start tag: the scope reads children only.
         iterator = iter(events)
@@ -400,15 +485,15 @@ class StreamedEvaluator:
             source=replay,
             buffers=ScopeBuffers(self._buffers),
         )
-        self._with_binding(handler.var, child_scope, handler.body)
+        yield from self._with_binding(handler.var, child_scope, handler.body)
         child_scope.buffers.close()
 
-    def _with_binding(self, name: str, binding: Binding, body: PlanOp) -> None:
+    def _with_binding(self, name: str, binding: Binding, body: PlanOp):
         previous = self._env.get(name)
         had_previous = name in self._env
         self._env[name] = binding
         try:
-            self._eval(body)
+            yield from self._eval(body)
         finally:
             if had_previous:
                 self._env[name] = previous
@@ -417,11 +502,14 @@ class StreamedEvaluator:
 
     # --------------------------------------------------------------- input
 
-    def _materialize(self, event: StartElement, source: Iterator[Event]) -> XMLElement:
+    def _materialize(self, event: StartElement, source: Iterator[Event]):
         """Build the subtree rooted at ``event`` by consuming its events."""
         root = XMLElement(event.name, event.attributes)
         stack: List[XMLElement] = [root]
-        for item in source:
+        while True:
+            item = yield from _pull(source)
+            if item is _END_OF_INPUT:
+                break
             if isinstance(item, OnFirstEvent):
                 continue
             if isinstance(item, StartElement):
@@ -438,10 +526,13 @@ class StreamedEvaluator:
                 break
         return root
 
-    def _skip_subtree(self, source: Iterator[Event]) -> None:
+    def _skip_subtree(self, source: Iterator[Event]):
         """Consume and discard the events of one child subtree."""
         depth = 0
-        for item in source:
+        while True:
+            item = yield from _pull(source)
+            if item is _END_OF_INPUT:
+                return
             if isinstance(item, StartElement):
                 depth += 1
             elif isinstance(item, EndElement):
@@ -505,6 +596,38 @@ class EventChannel:
                 yield event
 
 
+class _InlineSource:
+    """Non-blocking event source backing an inline (threadless) session.
+
+    ``feed`` appends events; iteration pops them, raising
+    :class:`StarvedInput` when the buffer is empty but the input is still
+    open — the signal that suspends the evaluation generator until the next
+    ``feed``/``finish`` resumes it.
+    """
+
+    __slots__ = ("_events", "_closed")
+
+    def __init__(self):
+        self._events: "deque" = deque()
+        self._closed = False
+
+    def extend(self, events: Iterable[Event]) -> None:
+        self._events.extend(events)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __iter__(self) -> "Iterator[Event]":
+        return self
+
+    def __next__(self) -> Event:
+        if self._events:
+            return self._events.popleft()
+        if self._closed:
+            raise StopIteration
+        raise StarvedInput
+
+
 def _drive_evaluator(evaluator, channel, sink, stats, error_box) -> None:
     """Worker-thread body of an :class:`EvaluatorSession`.
 
@@ -521,22 +644,36 @@ def _drive_evaluator(evaluator, channel, sink, stats, error_box) -> None:
         channel.mark_consumer_done()
 
 
+#: Execution modes of an :class:`EvaluatorSession`.
+EXECUTION_MODES = ("threads", "inline")
+
+
 class EvaluatorSession:
     """Push-based execution of one physical plan.
 
-    Wraps a :class:`StreamedEvaluator` running on a worker thread behind an
-    :class:`EventChannel`, exposing the resumable life cycle
+    Exposes the resumable life cycle
 
     >>> session = EvaluatorSession(plan, dtd)          # doctest: +SKIP
     >>> session.start()                                # doctest: +SKIP
     >>> session.feed(events); session.feed(more)       # doctest: +SKIP
     >>> output, stats = session.finish()               # doctest: +SKIP
 
+    in one of two modes (``execution``):
+
+    * ``"threads"`` (default) — a :class:`StreamedEvaluator` runs on a
+      worker thread behind a bounded :class:`EventChannel`; ``feed`` blocks
+      when the consumer lags (back-pressure).
+    * ``"inline"`` — no worker thread: the evaluation is a suspended
+      generator that ``feed`` resumes on the caller's thread until it
+      starves again.  Evaluation errors surface synchronously from the
+      ``feed`` that triggers them.
+
     ``feed`` accepts any iterable of events and may be called repeatedly;
-    ``finish`` closes the input, joins the worker, re-raises any evaluation
-    error, and returns ``(output_xml, stats)``.  The session is single-use;
-    one dropped without ``finish()``/``abort()`` is aborted by its
-    finalizer, releasing the worker thread.
+    ``finish`` closes the input, drives the evaluation to completion,
+    re-raises any evaluation error, and returns ``(output_xml, stats)``.
+    The session is single-use; one dropped without ``finish()``/``abort()``
+    is aborted by its finalizer, releasing the worker thread (a no-op in
+    inline mode, which has no thread to strand).
     """
 
     def __init__(
@@ -546,19 +683,36 @@ class EvaluatorSession:
         validate: bool = True,
         stats: Optional[RuntimeStats] = None,
         channel_size: int = 16,
+        execution: str = "threads",
     ):
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {execution!r}; expected one of {EXECUTION_MODES}"
+            )
         self._evaluator = StreamedEvaluator(plan, dtd, validate=validate)
         self._stats = stats if stats is not None else RuntimeStats()
-        self._channel = EventChannel(channel_size)
+        self._execution = execution
+        self._channel: Optional[EventChannel] = (
+            EventChannel(channel_size) if execution == "threads" else None
+        )
+        self._source: Optional[_InlineSource] = (
+            _InlineSource() if execution == "inline" else None
+        )
+        self._generator = None
         self._sink = io.StringIO()
         self._thread: Optional[threading.Thread] = None
+        self._started = False
         self._error_box: List[BaseException] = []
         self._result: Optional[Tuple[str, RuntimeStats]] = None
         self._aborted = False
 
     @property
+    def execution(self) -> str:
+        return self._execution
+
+    @property
     def started(self) -> bool:
-        return self._thread is not None
+        return self._started
 
     @property
     def finished(self) -> bool:
@@ -570,29 +724,62 @@ class EvaluatorSession:
 
     def start(self) -> "EvaluatorSession":
         """Begin execution; must be called once before :meth:`feed`."""
-        if self._thread is not None:
+        if self._started:
             raise EvaluationError("session already started")
-        self._thread = threading.Thread(
-            target=_drive_evaluator,
-            args=(self._evaluator, self._channel, self._sink, self._stats, self._error_box),
-            daemon=True,
-        )
-        self._thread.start()
+        self._started = True
+        if self._execution == "inline":
+            self._generator = self._evaluator.execute(self._source, self._sink, self._stats)
+            self._resume()  # run up to the first input pull
+        else:
+            self._thread = threading.Thread(
+                target=_drive_evaluator,
+                args=(self._evaluator, self._channel, self._sink, self._stats, self._error_box),
+                daemon=True,
+            )
+            self._thread.start()
         return self
+
+    def _resume(self) -> None:
+        """Advance the inline generator until it starves or completes.
+
+        One resume consumes everything currently buffered: the generator
+        only yields again once the source raises :class:`StarvedInput`.
+        Errors are recorded (for finish()) and re-raised immediately.
+        """
+        if self._generator is None:
+            return
+        try:
+            next(self._generator)
+        except StopIteration:
+            self._generator = None
+        except BaseException as exc:
+            self._generator = None
+            self._error_box.append(exc)
+            raise
 
     def feed(self, events: Iterable[Event]) -> None:
         """Push a batch of events into the running evaluation."""
-        if self._thread is None:
+        if not self._started:
             raise EvaluationError("feed() before start()")
         if self._aborted:
             raise EvaluationError("feed() on an aborted session")
         if self._result is not None:
             raise EvaluationError("feed() after finish()")
+        if self._error is not None:
+            # Fail fast instead of at finish(); finish() re-raises too.
+            raise self._error
+        if self._execution == "inline":
+            if self._generator is None:
+                # The plan already finished (early termination): surplus
+                # input is dropped, mirroring the channel's behaviour.
+                return
+            self._source.extend(events)
+            self._resume()
+            return
         chunk = events if isinstance(events, list) else list(events)
         if chunk:
             self._channel.put(chunk)
         if self._error is not None:
-            # Fail fast instead of at finish(); finish() re-raises too.
             raise self._error
 
     def finish(self) -> Tuple[str, RuntimeStats]:
@@ -601,23 +788,34 @@ class EvaluatorSession:
         An aborted session has no result: its partial output must never be
         mistaken for a completed evaluation, so finish() raises instead.
         """
-        if self._thread is None:
+        if not self._started:
             raise EvaluationError("finish() before start()")
         if self._aborted:
             raise EvaluationError("finish() on an aborted session")
         if self._result is None:
-            self._channel.close()
-            self._thread.join()
-            if self._error is not None:
-                raise self._error
+            if self._execution == "inline":
+                self._source.close()
+                if self._error is not None:
+                    raise self._error
+                self._resume()  # end of input: the generator must complete
+            else:
+                self._channel.close()
+                self._thread.join()
+                if self._error is not None:
+                    raise self._error
             self._result = (self._sink.getvalue(), self._stats)
         return self._result
 
     def abort(self) -> None:
         """Stop the session, discarding its output and swallowing errors."""
-        if self._thread is None or self._result is not None or self._aborted:
+        if not self._started or self._result is not None or self._aborted:
             return
         self._aborted = True
+        if self._execution == "inline":
+            generator, self._generator = self._generator, None
+            if generator is not None:
+                generator.close()
+            return
         self._channel.close()
         self._thread.join()
 

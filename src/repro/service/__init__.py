@@ -3,15 +3,18 @@
 Public surface:
 
 * :class:`QueryService` — register many XQueries, execute them all in a
-  single shared pass with push-based ingestion;
+  single shared pass with push-based ingestion, driven by worker threads
+  or the inline round-robin scheduler (``execution="threads"|"inline"``);
 * :class:`SharedPass` — one in-flight pass (``feed(text)`` / ``finish()``);
 * :class:`PlanCache` / :class:`CacheStats` — LRU plan cache keyed by
-  ``(query text, DTD fingerprint)``;
+  ``(query text, DTD fingerprint)``, with single-flight compilation;
 * :class:`PlanProfile` / :class:`SharedProjectionIndex` — the static
-  analysis behind the shared event filter;
-* :class:`ServiceMetrics` / :class:`PassMetrics` — accounting.
+  analysis behind the per-query event router;
+* :class:`ServiceMetrics` / :class:`PassMetrics` — accounting, including
+  per-query routed/suppressed event counts.
 """
 
+from repro.runtime.evaluator import EXECUTION_MODES
 from repro.service.dispatcher import (
     PlanProfile,
     SharedDispatcher,
@@ -36,4 +39,5 @@ __all__ = [
     "SharedProjectionIndex",
     "ServiceMetrics",
     "PassMetrics",
+    "EXECUTION_MODES",
 ]

@@ -1,10 +1,10 @@
-"""Shared single-pass event dispatch for many compiled plans.
+"""Shared single-pass event dispatch with per-query routing.
 
 One :class:`~repro.xmlstream.parser.StreamingXMLParser` feed is fanned out
 to N per-query FluX runtimes.  The dispatcher's job is to make the shared
 scan cheaper than N independent scans *without changing any query's output
-by a single byte*.  It does so with a **shared projection-path index**: the
-union, over all registered queries, of
+by a single byte*.  Each registered plan contributes a
+:class:`PlanProfile` of static interest:
 
 * the projection tree of the query (as in the projection baseline engine:
   every document-rooted path the query's paths can touch, with
@@ -14,25 +14,32 @@ union, over all registered queries, of
   variables — and the element types carrying registered XSAX ``on-first``
   conditions.
 
-Events are then filtered *once*, before fan-out:
+A single stack-machine pass (:meth:`SharedProjectionIndex.route`) then
+computes, **per admitted event, a bitmask of exactly which plans need it**
+(bit *i* set means plan *i*'s session receives the event).  Per plan:
 
-* character data in regions no query's buffers or copies can observe is
-  dropped;
-* a whole element subtree is pruned when (a) it matches no node of the
-  union projection tree, (b) its name is not interesting to any plan, and
-  (c) its **parent's element type has no registered on-first condition in
-  any plan**.
+* character data in regions that plan's buffers or copies cannot observe
+  is not routed to it;
+* a whole element subtree is not routed to a plan when (a) it matches no
+  node of *that plan's* projection tree, (b) its name is not interesting
+  to that plan, and (c) its **parent's element type has no on-first
+  condition registered in that plan**;
+* an event needed by *no* plan is pruned once, for all of them (the union
+  fast path of PR 1), without even being buffered.
 
-Rule (c) is what keeps pruning semantics-preserving: XSAX decides when an
-``on-first past(...)`` event fires by stepping the parent's content-model
-automaton on every child start tag, and the evaluator's output order depends
-on exactly where those events appear in the stream.  Children of
-condition-bearing elements are therefore always forwarded, even when
-irrelevant to every query's data needs.  For elements without conditions,
-delaying an always-satisfied handler from the arrival of a pruned child to
-the next forwarded event cannot reorder output of *safe* FluX queries (the
-safety check guarantees an on-first handler cannot fire while an
-earlier-indexed handler still expects children), so pruning is invisible.
+Rule (c) is what keeps pruning semantics-preserving — now *per plan*, not
+just for the union: XSAX decides when an ``on-first past(...)`` event fires
+by stepping the parent's content-model automaton on every child start tag,
+and the evaluator's output order depends on exactly where those events
+appear in the stream.  Children of an element carrying a condition in plan
+*i* are therefore always routed to plan *i*, even when irrelevant to its
+data needs (and independently *not* routed to a plan without such a
+condition).  For elements without conditions, delaying an always-satisfied
+handler from the arrival of a pruned child to the next forwarded event
+cannot reorder output of *safe* FluX queries (the safety check guarantees
+an on-first handler cannot fire while an earlier-indexed handler still
+expects children), so routing is invisible: each plan sees exactly the
+stream its own solo filter would have admitted.
 
 Per-query validation is disabled inside a shared pass; the dispatcher
 validates the *unfiltered* stream once (``validate=True`` on the service),
@@ -53,14 +60,7 @@ from repro.runtime.plan import (
     ProcessStreamOp,
 )
 from repro.service.metrics import PassMetrics
-from repro.xmlstream.events import (
-    EndDocument,
-    EndElement,
-    Event,
-    StartDocument,
-    StartElement,
-    Text,
-)
+from repro.xmlstream.events import EndElement, Event, StartElement, Text
 from repro.xquery.analysis import WHOLE_SUBTREE
 
 
@@ -121,59 +121,66 @@ class PlanProfile:
 
 
 class _Frame:
-    """Per-open-element state of the shared filter."""
+    """Per-open-element state of the shared routing machine.
 
-    __slots__ = ("name", "matched", "kept")
+    ``active`` is the bitmask of plans this element was routed to (a plan
+    that pruned an ancestor can never reappear below it); ``kept`` marks
+    the active plans whose buffers/copies can observe this region's
+    character data; ``matched`` holds, per plan, the projection-tree nodes
+    the element's path has reached.
+    """
 
-    def __init__(self, name: str, matched: List[ProjectionNode], kept: bool):
+    __slots__ = ("name", "matched", "kept", "active")
+
+    def __init__(self, name: str, matched: List[List[ProjectionNode]], kept: int, active: int):
         self.name = name
         self.matched = matched
         self.kept = kept
-
-
-def _merge_projection(target: ProjectionNode, source: ProjectionNode) -> None:
-    target.keep_subtree = target.keep_subtree or source.keep_subtree
-    for label, child in source.children.items():
-        _merge_projection(target.child(label), child)
-
-
-def _projection_names(node: ProjectionNode, into: Set[str]) -> None:
-    for label, child in node.children.items():
-        into.add(label)
-        _projection_names(child, into)
+        self.active = active
 
 
 class SharedProjectionIndex:
-    """Union interest of all registered plans, applied as an event filter.
+    """Per-plan interest of all registered plans, applied as an event router.
 
-    :meth:`admit` is a push-based stack machine over the single parsed
-    stream: it returns ``True`` when the event must be fanned out to the
-    per-query runtimes and ``False`` when it is skipped *once* for all of
-    them, recording the savings in the pass metrics.
+    :meth:`route` is a push-based stack machine over the single parsed
+    stream: it returns the bitmask of plans (in registration order) that
+    need the event.  A zero mask means the event is skipped *once* for all
+    of them; the savings — global and per query — are recorded in the pass
+    metrics (per-query counters are written by :meth:`finalize_metrics`).
     """
 
-    def __init__(self, profiles: Iterable[PlanProfile], metrics: Optional[PassMetrics] = None):
+    def __init__(
+        self,
+        profiles: Iterable[PlanProfile],
+        metrics: Optional[PassMetrics] = None,
+        keys: Optional[List[str]] = None,
+    ):
         profiles = list(profiles)
         self.metrics = metrics if metrics is not None else PassMetrics()
-        self.projection = ProjectionNode()
-        self.keep_names: Set[str] = set()
-        self.interesting_names: Set[str] = set()
-        self.condition_types: Set[str] = set()
-        self.keep_everything = not profiles
-        for profile in profiles:
-            _merge_projection(self.projection, profile.projection)
-            self.keep_names |= profile.keep_names
-            self.interesting_names |= profile.interesting_names
-            self.condition_types |= profile.condition_types
-            self.keep_everything = self.keep_everything or profile.keep_everything
-        _projection_names(self.projection, self.interesting_names)
+        self.keys = list(keys) if keys is not None else [f"q{i}" for i in range(len(profiles))]
+        if len(self.keys) != len(profiles):
+            raise ValueError("one key per profile required")
+        self._count = len(profiles)
+        self.full_mask = (1 << self._count) - 1
+        self._projections = [profile.projection for profile in profiles]
+        self._keep_names = [profile.keep_names for profile in profiles]
+        self._interesting_names = [set(profile.interesting_names) for profile in profiles]
+        self._condition_types = [profile.condition_types for profile in profiles]
+        self._keep_everything_mask = 0
+        for i, profile in enumerate(profiles):
+            if profile.keep_everything:
+                self._keep_everything_mask |= 1 << i
+            _projection_names(profile.projection, self._interesting_names[i])
         self._stack: List[_Frame] = []
         self._skip_depth = 0
+        # Tallied per distinct mask, expanded per plan by finalize_metrics()
+        # (cheaper than touching N counters on every event).
+        self._mask_counts: Dict[int, int] = {}
 
-    # ------------------------------------------------------------- filter
+    # ------------------------------------------------------------- router
 
-    def admit(self, event: Event) -> bool:
-        """Whether ``event`` must be forwarded to the registered queries."""
+    def route(self, event: Event) -> int:
+        """The bitmask of plans ``event`` must be forwarded to."""
         metrics = self.metrics
         metrics.parser_events += 1
         if self._skip_depth:
@@ -182,71 +189,143 @@ class SharedProjectionIndex:
                 self._skip_depth += 1
             elif isinstance(event, EndElement):
                 self._skip_depth -= 1
-            return False
+            return 0
         if isinstance(event, StartElement):
-            return self._admit_start(event)
-        if isinstance(event, EndElement):
-            if self._stack:
-                self._stack.pop()
+            mask = self._route_start(event)
+            if not mask:
+                return 0
+        elif isinstance(event, EndElement):
+            # Exactly the plans that saw the start tag see the end tag, so
+            # every per-plan stream stays well formed.
+            mask = self._stack.pop().active if self._stack else self.full_mask
             metrics.events_forwarded += 1
-            return True
-        if isinstance(event, Text):
-            if self.keep_everything or (self._stack and self._stack[-1].kept):
-                metrics.events_forwarded += 1
-                return True
-            metrics.text_events_dropped += 1
-            return False
-        # StartDocument / EndDocument always reach every runtime.
-        metrics.events_forwarded += 1
-        return True
+        elif isinstance(event, Text):
+            if self._stack:
+                frame = self._stack[-1]
+                mask = frame.active & (frame.kept | self._keep_everything_mask)
+            else:
+                mask = self._keep_everything_mask
+            if not mask:
+                metrics.text_events_dropped += 1
+                return 0
+            metrics.events_forwarded += 1
+        else:
+            # StartDocument / EndDocument always reach every runtime.
+            mask = self.full_mask
+            metrics.events_forwarded += 1
+        self._mask_counts[mask] = self._mask_counts.get(mask, 0) + 1
+        return mask
 
-    def _admit_start(self, event: StartElement) -> bool:
+    def _route_start(self, event: StartElement) -> int:
         name = event.name
         if not self._stack:
-            # The document root: the spine of every document-rooted path.
-            node = self.projection.children.get(name)
-            matched = [node] if node is not None else []
-            kept = (
-                self.keep_everything
-                or self.projection.keep_subtree
-                or name in self.keep_names
-                or (node is not None and node.keep_subtree)
-            )
-            self._stack.append(_Frame(name, matched, kept))
+            # The document root: the spine of every document-rooted path —
+            # every plan receives it.
+            active = self.full_mask
+            kept = self._keep_everything_mask
+            matched: List[List[ProjectionNode]] = []
+            for i in range(self._count):
+                projection = self._projections[i]
+                node = projection.children.get(name)
+                plan_matched = [node] if node is not None else []
+                if (
+                    projection.keep_subtree
+                    or name in self._keep_names[i]
+                    or (node is not None and node.keep_subtree)
+                ):
+                    kept |= 1 << i
+                matched.append(plan_matched)
+            self._stack.append(_Frame(name, matched, kept, active))
             self.metrics.events_forwarded += 1
-            return True
+            return active
         parent = self._stack[-1]
-        kept = self.keep_everything or parent.kept or name in self.keep_names
-        matched: List[ProjectionNode] = []
-        for node in parent.matched:
-            child = node.children.get(name)
-            if child is not None:
-                matched.append(child)
-                kept = kept or child.keep_subtree
-        if (
-            kept
-            or matched
-            or name in self.interesting_names
-            or parent.name in self.condition_types
-        ):
-            self._stack.append(_Frame(name, matched, kept))
+        active = 0
+        kept = 0
+        matched = [_NO_NODES] * self._count
+        remaining = parent.active
+        while remaining:
+            bit = remaining & -remaining
+            remaining ^= bit
+            i = bit.bit_length() - 1
+            plan_kept = bool(
+                bit & (parent.kept | self._keep_everything_mask)
+            ) or name in self._keep_names[i]
+            plan_matched: List[ProjectionNode] = []
+            for node in parent.matched[i]:
+                child = node.children.get(name)
+                if child is not None:
+                    plan_matched.append(child)
+                    plan_kept = plan_kept or child.keep_subtree
+            if (
+                plan_kept
+                or plan_matched
+                or name in self._interesting_names[i]
+                or parent.name in self._condition_types[i]
+            ):
+                active |= bit
+                if plan_kept:
+                    kept |= bit
+                matched[i] = plan_matched
+        if active:
+            self._stack.append(_Frame(name, matched, kept, active))
             self.metrics.events_forwarded += 1
-            return True
+            return active
         # Irrelevant to every query and invisible to every condition:
         # prune the whole subtree once, for all runtimes.
         self._skip_depth = 1
         self.metrics.subtrees_pruned += 1
         self.metrics.events_pruned += 1
-        return False
+        return 0
+
+    # ------------------------------------------------------------ metrics
+
+    def per_plan_forwarded(self) -> List[int]:
+        """Events routed to each plan so far, in registration order."""
+        counts = [0] * self._count
+        for mask, count in self._mask_counts.items():
+            i = 0
+            while mask:
+                if mask & 1:
+                    counts[i] += count
+                mask >>= 1
+                i += 1
+        return counts
+
+    def finalize_metrics(self) -> None:
+        """Write the per-query routed/suppressed counters into the metrics.
+
+        ``per_query_forwarded[key]`` counts the events routed to that
+        query; ``per_query_pruned[key]`` counts the events some *other*
+        query needed but this one did not — the routing win over PR 1's
+        union filter, which would have delivered all
+        ``events_forwarded`` events to every session.
+        """
+        forwarded = self.metrics.events_forwarded
+        for key, routed in zip(self.keys, self.per_plan_forwarded()):
+            self.metrics.per_query_forwarded[key] = routed
+            self.metrics.per_query_pruned[key] = forwarded - routed
+
+
+#: Shared empty per-plan match list (most plans match nothing at most depths).
+_NO_NODES: List[ProjectionNode] = []
+
+
+def _projection_names(node: ProjectionNode, into: Set[str]) -> None:
+    for label, child in node.children.items():
+        into.add(label)
+        _projection_names(child, into)
 
 
 class SharedDispatcher:
-    """Filters one parsed event stream and fans it out to query sessions.
+    """Routes one parsed event stream to the sessions that need each event.
 
     The dispatcher owns the shared validation pass (one
     :class:`~repro.dtd.validator.StreamingValidator` over the *unfiltered*
-    stream) and batches admitted events into chunks so the per-session
-    channel hand-off cost is amortized.
+    stream) and batches routed events into per-session chunks so the
+    per-session hand-off cost is amortized.  Draining is round-robin in
+    registration order: with inline sessions this *is* the scheduler — each
+    ``feed`` re-enters that session's evaluation generator on this thread
+    until it has consumed its chunk.
     """
 
     def __init__(
@@ -260,27 +339,38 @@ class SharedDispatcher:
         self.sessions = sessions
         self.validator = validator
         self.chunk_size = chunk_size
-        self._pending: List[Event] = []
+        self._pending: List[List[Event]] = [[] for _ in sessions]
 
     def dispatch(self, events: Iterable[Event]) -> None:
-        """Filter ``events`` and forward the survivors to every session.
+        """Route ``events``, forwarding each survivor to the sessions whose
+        routing bit is set.
 
-        Admitted events are buffered up to ``chunk_size`` across calls;
-        :meth:`flush` hands the tail over (the pass calls it on finish).
+        Routed events are buffered per session up to ``chunk_size`` across
+        calls; :meth:`flush` hands the tails over (the pass calls it on
+        finish).
         """
+        route = self.index.route
+        validator = self.validator
+        pending = self._pending
+        chunk_size = self.chunk_size
         for event in events:
-            if self.validator is not None:
-                self.validator.feed(event)
-            if self.index.admit(event):
-                self._pending.append(event)
-                if len(self._pending) >= self.chunk_size:
-                    self.flush()
+            if validator is not None:
+                validator.feed(event)
+            mask = route(event)
+            while mask:
+                bit = mask & -mask
+                mask ^= bit
+                i = bit.bit_length() - 1
+                bucket = pending[i]
+                bucket.append(event)
+                if len(bucket) >= chunk_size:
+                    pending[i] = []
+                    self.sessions[i].feed(bucket)
 
     def flush(self) -> None:
-        """Forward any buffered events to every session now."""
-        chunk = self._pending
-        if not chunk:
-            return
-        self._pending = []
-        for session in self.sessions:
-            session.feed(chunk)
+        """Forward any buffered events to their sessions now (round-robin)."""
+        pending = self._pending
+        for i, bucket in enumerate(pending):
+            if bucket:
+                pending[i] = []
+                self.sessions[i].feed(bucket)

@@ -3,11 +3,15 @@
 Two layers of counters:
 
 * :class:`PassMetrics` — one shared scan: how many events the parser
-  produced, how many survived the shared projection filter, how many were
-  pruned (whole irrelevant subtrees) or dropped (character data no query can
-  observe).  ``events_saved_vs_solo`` quantifies the point of the service:
-  with N registered queries, N independent runs would have parsed the
-  document N times.
+  produced, how many survived the shared routing index (``events_forwarded``
+  counts events at least one query needed — the number PR 1's union filter
+  would have broadcast to *every* session), how many were pruned (whole
+  irrelevant subtrees) or dropped (character data no query can observe),
+  and — per registered query — how many events were actually routed to it
+  (``per_query_forwarded``) versus suppressed for it although some other
+  query needed them (``per_query_pruned``).  ``events_saved_vs_solo``
+  quantifies the point of the service: with N registered queries, N
+  independent runs would have parsed the document N times.
 * :class:`ServiceMetrics` — service lifetime: registrations, compilations,
   passes, and the running totals across passes.  Plan-cache hit/miss counts
   live on the cache itself (:class:`repro.service.plan_cache.CacheStats`)
@@ -32,6 +36,13 @@ class PassMetrics:
     events_pruned: int = 0
     text_events_dropped: int = 0
     elapsed_seconds: float = 0.0
+    #: Events routed to each query (by registration key); always
+    #: ``<= events_forwarded``, strictly less for queries sparser than the
+    #: fleet's union interest.
+    per_query_forwarded: Dict[str, int] = field(default_factory=dict)
+    #: Events some other query needed but this one did not — what the
+    #: query saves over PR 1's union-filtered broadcast.
+    per_query_pruned: Dict[str, int] = field(default_factory=dict)
 
     @property
     def events_saved_vs_solo(self) -> int:
@@ -49,6 +60,8 @@ class PassMetrics:
             "text_events_dropped": self.text_events_dropped,
             "events_saved_vs_solo": self.events_saved_vs_solo,
             "elapsed_seconds": self.elapsed_seconds,
+            "per_query_forwarded": dict(self.per_query_forwarded),
+            "per_query_pruned": dict(self.per_query_pruned),
         }
 
 
@@ -58,6 +71,9 @@ class ServiceMetrics:
 
     queries_registered: int = 0
     queries_unregistered: int = 0
+    #: Registrations displaced by re-registering their key.  The live-query
+    #: invariant is ``registered - unregistered - replaced == len(service)``.
+    queries_replaced: int = 0
     passes_completed: int = 0
     parser_events_total: int = 0
     events_forwarded_total: int = 0
@@ -80,6 +96,7 @@ class ServiceMetrics:
         return {
             "queries_registered": self.queries_registered,
             "queries_unregistered": self.queries_unregistered,
+            "queries_replaced": self.queries_replaced,
             "passes_completed": self.passes_completed,
             "parser_events_total": self.parser_events_total,
             "events_forwarded_total": self.events_forwarded_total,

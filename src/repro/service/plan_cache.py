@@ -17,8 +17,12 @@ the key carries a third component: the pipeline's ablation-switch digest
 (:meth:`~repro.core.optimizer.OptimizerPipeline.config_fingerprint`).  An
 ablation pipeline therefore never shares entries with the default one.
 
-The cache is bounded and LRU-evicting, safe for concurrent readers under the
-GIL, and exposes hit/miss/eviction counters for the service metrics.
+The cache is bounded and LRU-evicting, thread-safe (all entry reads and
+writes — including ``len()`` and ``in`` — hold the cache lock), and exposes
+hit/miss/eviction counters for the service metrics.  Concurrent
+:meth:`PlanCache.get_or_compile` misses on the same key are *single-flight*:
+one caller compiles while the others wait for (and share) its plan, so a
+thundering herd of identical registrations pays the optimizer once.
 """
 
 from __future__ import annotations
@@ -76,6 +80,17 @@ class CacheStats:
         }
 
 
+class _Flight:
+    """One in-progress compilation shared by concurrent cache misses."""
+
+    __slots__ = ("done", "entry", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.entry: Optional[CompiledQueryPlan] = None
+        self.error: Optional[BaseException] = None
+
+
 class PlanCache:
     """Bounded LRU cache of :class:`~repro.runtime.compiler.CompiledQueryPlan`.
 
@@ -92,12 +107,16 @@ class PlanCache:
         self.stats = CacheStats()
         self._entries: "OrderedDict[Tuple[str, str, str], CompiledQueryPlan]" = OrderedDict()
         self._lock = threading.Lock()
+        # In-progress compilations, for single-flight get_or_compile().
+        self._inflight: Dict[Tuple[str, str, str], "_Flight"] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Tuple[str, str, str]) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(
         self,
@@ -137,15 +156,47 @@ class PlanCache:
         """``(plan, from_cache)`` for ``query`` under ``pipeline``'s schema
         and configuration, compiling (and caching) the plan on a miss.
 
-        ``from_cache`` reports this call's own lookup, so it stays accurate
-        even when the cache is shared and other callers hit concurrently.
+        Concurrent misses on the same key compile once: the first caller
+        (the *leader*) runs the optimizer outside the cache lock while
+        followers wait on its flight and share the plan.  ``from_cache``
+        reports whether *this* call's plan came without compiling — a hit,
+        or a followed flight — so it stays accurate even when the cache is
+        shared and other callers race.  A leader's compilation error
+        propagates to its followers; the flight is cleared, so later calls
+        retry.
         """
-        entry = self.get(query, pipeline.dtd, pipeline.config_fingerprint())
-        if entry is not None:
-            return entry, True
-        entry = compile_query(query, pipeline=pipeline)
-        self.put(entry)
-        return entry, False
+        key = cache_key(query, pipeline.dtd, pipeline.config_fingerprint())
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry, True
+            self.stats.misses += 1
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = self._inflight[key] = _Flight()
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.entry, True
+        try:
+            entry = compile_query(query, pipeline=pipeline)
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        else:
+            flight.entry = entry
+            self.put(entry)
+            return entry, False
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
 
     def clear(self) -> None:
         """Drop all entries (stats are kept)."""

@@ -52,12 +52,12 @@ class RegisteredQuery:
 class _QueryRun:
     """One query's execution inside one shared pass."""
 
-    def __init__(self, registration: RegisteredQuery, dtd: Optional[DTD]):
+    def __init__(self, registration: RegisteredQuery, dtd: Optional[DTD], execution: str):
         self.registration = registration
         # Validation runs once, in the dispatcher, over the unfiltered
         # stream; the per-query XSAX readers only track on-first conditions.
         self.session = EvaluatorSession(
-            registration.entry.plan, dtd, validate=False
+            registration.entry.plan, dtd, validate=False, execution=execution
         ).start()
 
     def feed(self, chunk) -> None:
@@ -77,10 +77,17 @@ class SharedPass:
     """One shared single-pass execution of all registered queries.
 
     Documents are pushed as text with :meth:`feed` (any chunking) and closed
-    with :meth:`finish`, which returns ``{key: QueryResult}``.  A failing
-    pass (malformed or invalid input) aborts every per-query session before
-    re-raising, so no worker leaks.  The pass is also a context manager —
-    leaving the ``with`` block finishes it (or aborts it on an exception) —
+    with :meth:`finish`, which returns ``{key: QueryResult}``.  ``execution``
+    selects how the per-query runtimes are driven: ``"threads"`` (one
+    worker per query behind a bounded channel) or ``"inline"`` (the
+    dispatcher round-robins re-entrant evaluations on the feeding thread).
+
+    A failing pass (malformed or invalid input) aborts every per-query
+    session before re-raising, so no worker leaks; an aborted pass rejects
+    further :meth:`feed`/:meth:`finish` calls with :class:`ValueError`
+    rather than touching its dead sessions.  The pass is also a context
+    manager — leaving the ``with`` block finishes it (or aborts it on an
+    exception; a block left after a manual :meth:`abort` stays aborted) —
     and a pass dropped without either call is aborted by its finalizer, so
     an abandoned pass cannot strand its per-query worker threads blocked on
     input that will never arrive.
@@ -93,21 +100,34 @@ class SharedPass:
         validate: bool,
         chunk_size: int = 256,
         on_complete=None,
+        execution: str = "threads",
     ):
         if not registrations:
             raise ValueError("a shared pass needs at least one registered query")
         self._registrations = list(registrations)
         self._metrics = PassMetrics(queries=len(self._registrations))
-        self._runs = [_QueryRun(reg, dtd) for reg in self._registrations]
-        index = SharedProjectionIndex(
-            (reg.profile for reg in self._registrations), self._metrics
-        )
-        validator = StreamingValidator(dtd) if (validate and dtd is not None) else None
-        self._dispatcher = SharedDispatcher(
-            index, self._runs, validator=validator, chunk_size=chunk_size
-        )
-        self._parser = StreamingXMLParser.incremental()
+        self._aborted = False
         self._results: Optional[Dict[str, QueryResult]] = None
+        self._runs: List[_QueryRun] = []
+        try:
+            for reg in self._registrations:
+                self._runs.append(_QueryRun(reg, dtd, execution))
+            self._index = SharedProjectionIndex(
+                (reg.profile for reg in self._registrations),
+                self._metrics,
+                keys=[reg.key for reg in self._registrations],
+            )
+            validator = StreamingValidator(dtd) if (validate and dtd is not None) else None
+            self._dispatcher = SharedDispatcher(
+                self._index, self._runs, validator=validator, chunk_size=chunk_size
+            )
+            self._parser = StreamingXMLParser.incremental()
+        except BaseException:
+            # Construction failed after the Kth session started: release
+            # every worker that did start instead of stranding it on a
+            # channel that will never be fed or closed.
+            self.abort()
+            raise
         self._on_complete = on_complete
         self._started_at = time.perf_counter()
 
@@ -115,8 +135,14 @@ class SharedPass:
     def metrics(self) -> PassMetrics:
         return self._metrics
 
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
     def feed(self, text: str) -> None:
         """Push the next chunk of document text into the pass."""
+        if self._aborted:
+            raise ValueError("feed() on an aborted pass")
         if self._results is not None:
             raise ValueError("feed() after finish()")
         # len(text) counts characters; the reported metric is bytes.
@@ -129,6 +155,8 @@ class SharedPass:
 
     def finish(self) -> Dict[str, QueryResult]:
         """Close the input and return one result per registered query."""
+        if self._aborted:
+            raise ValueError("finish() on an aborted pass")
         if self._results is None:
             try:
                 self._dispatcher.dispatch(self._parser.close())
@@ -145,6 +173,7 @@ class SharedPass:
                 self.abort()
                 raise
             self._metrics.elapsed_seconds = time.perf_counter() - self._started_at
+            self._index.finalize_metrics()
             self._results = results
             if self._on_complete is not None:
                 self._on_complete(self._metrics, len(results))
@@ -152,6 +181,7 @@ class SharedPass:
 
     def abort(self) -> None:
         """Tear down all per-query sessions, discarding partial output."""
+        self._aborted = True
         for run in self._runs:
             run.session.abort()
 
@@ -159,13 +189,14 @@ class SharedPass:
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        if exc_type is not None:
+        if exc_type is not None or self._aborted:
             self.abort()
         else:
             self.finish()
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
-            self.abort()
+            if self._results is None:
+                self.abort()
         except Exception:
             pass

@@ -129,3 +129,70 @@ class TestEvaluatorSessionLifecycle:
                 break
             time.sleep(0.02)
         assert threading.active_count() <= before
+
+
+class TestInlineEvaluatorSession:
+    """The threadless execution mode: re-entrant generators, same bytes."""
+
+    def _session(self, engine, **kwargs):
+        compiled = engine.compile(PAPER_Q3)
+        return EvaluatorSession(
+            compiled.plan, engine.dtd, execution="inline", **kwargs
+        )
+
+    def test_inline_matches_thread_mode_bytes(self, engine):
+        solo = engine.execute(PAPER_Q3, PAPER_DOCUMENT)
+        session = self._session(engine).start()
+        events = list(parse_events(PAPER_DOCUMENT))
+        for start in range(0, len(events), 7):
+            session.feed(events[start : start + 7])
+        output, stats = session.finish()
+        assert output == solo.output
+        assert stats.events_processed > 0
+
+    def test_inline_spawns_no_threads(self, engine):
+        import threading
+
+        before = threading.active_count()
+        session = self._session(engine).start()
+        session.feed(parse_events(PAPER_DOCUMENT))
+        session.finish()
+        assert threading.active_count() == before
+
+    def test_inline_lifecycle_errors(self, engine):
+        session = self._session(engine)
+        with pytest.raises(EvaluationError):
+            session.feed([])
+        session.start()
+        with pytest.raises(EvaluationError):
+            session.start()
+        session.abort()
+        with pytest.raises(EvaluationError):
+            session.feed([])
+        with pytest.raises(EvaluationError):
+            session.finish()
+
+    def test_inline_validation_error_raises_from_the_triggering_feed(self, engine):
+        invalid = list(parse_events("<bib><book><title>t</title></book></bib>"))
+        session = self._session(engine).start()
+        with pytest.raises(XMLValidationError):
+            session.feed(invalid)
+
+    def test_inline_early_terminating_plan_drops_surplus_input(self):
+        engine = FluxEngine(BIB_DTD_STRONG)
+        document = generate_bibliography(num_books=50, seed=3)
+        spec = get_query("BIB-Q6")
+        solo = engine.execute(spec.xquery, document)
+        compiled = engine.compile(spec.xquery)
+        session = EvaluatorSession(compiled.plan, engine.dtd, execution="inline").start()
+        events = list(parse_events(document))
+        for start in range(0, len(events), 100):
+            session.feed(events[start : start + 100])
+        output, _ = session.finish()
+        assert output == solo.output
+
+    def test_inline_finish_is_idempotent(self, engine):
+        session = self._session(engine).start()
+        session.feed(parse_events(PAPER_DOCUMENT))
+        first = session.finish()
+        assert session.finish() == first

@@ -125,3 +125,90 @@ class TestPlanCache:
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             PlanCache(capacity=0)
+
+    def test_contains_and_len_reflect_entries(self, strong_pipeline):
+        cache = PlanCache()
+        key = cache_key(PAPER_Q3, strong_pipeline.dtd, strong_pipeline.config_fingerprint())
+        assert key not in cache
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert key in cache
+        assert len(cache) == 1
+
+
+class TestPlanCacheConcurrency:
+    """Concurrent misses on one key must compile exactly once."""
+
+    def _patched(self, monkeypatch, behaviour):
+        import repro.service.plan_cache as plan_cache_module
+
+        monkeypatch.setattr(plan_cache_module, "compile_query", behaviour)
+
+    def test_single_flight_compilation(self, strong_pipeline, monkeypatch):
+        import threading
+        import time
+
+        import repro.service.plan_cache as plan_cache_module
+
+        real_compile = plan_cache_module.compile_query
+        compiles = []
+
+        def slow_compile(query, pipeline=None):
+            compiles.append(query)
+            time.sleep(0.05)  # widen the race window
+            return real_compile(query, pipeline=pipeline)
+
+        self._patched(monkeypatch, slow_compile)
+        cache = PlanCache()
+        results = []
+
+        def worker():
+            results.append(cache.get_or_compile(PAPER_Q3, strong_pipeline))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(compiles) == 1
+        assert len({id(entry) for entry, _ in results}) == 1
+        # Exactly the leader reports a fresh compilation.
+        assert sum(1 for _, from_cache in results if not from_cache) == 1
+        # Every concurrent miss was a miss; only later lookups hit.
+        assert cache.stats.misses == 8
+        entry, from_cache = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert from_cache and cache.stats.hits == 1
+
+    def test_follower_receives_leader_error(self, strong_pipeline):
+        from repro.service.plan_cache import _Flight
+
+        cache = PlanCache()
+        key = cache_key(
+            PAPER_Q3, strong_pipeline.dtd, strong_pipeline.config_fingerprint()
+        )
+        flight = _Flight()
+        flight.error = RuntimeError("injected compile failure")
+        flight.done.set()
+        cache._inflight[key] = flight
+        with pytest.raises(RuntimeError, match="injected compile failure"):
+            cache.get_or_compile(PAPER_Q3, strong_pipeline)
+
+    def test_failed_flight_clears_so_later_calls_retry(self, strong_pipeline, monkeypatch):
+        import repro.service.plan_cache as plan_cache_module
+
+        real_compile = plan_cache_module.compile_query
+        attempts = []
+
+        def flaky_compile(query, pipeline=None):
+            attempts.append(query)
+            if len(attempts) == 1:
+                raise RuntimeError("injected compile failure")
+            return real_compile(query, pipeline=pipeline)
+
+        self._patched(monkeypatch, flaky_compile)
+        cache = PlanCache()
+        with pytest.raises(RuntimeError):
+            cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert not cache._inflight  # the failed flight did not linger
+        entry, from_cache = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert entry is not None and not from_cache
+        assert len(attempts) == 2

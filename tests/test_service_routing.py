@@ -1,0 +1,279 @@
+"""Per-query event routing, execution modes, and shared-pass lifecycle fixes.
+
+PR 2's invariant sharpens PR 1's: not only must the shared pass agree
+byte-for-byte with solo runs, it must do so while forwarding to each query
+only the events *that query's* profile admits — rule (c) of the pruning
+semantics (children of condition-bearing elements are always forwarded)
+holds per plan, not just for the union.  The property test drives both
+execution modes (worker threads and the inline round-robin scheduler)
+under hypothesis-chosen feed chunkings.
+"""
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engines.flux_engine import FluxEngine
+from repro.errors import EvaluationError
+from repro.runtime.evaluator import EvaluatorSession
+from repro.service import PlanCache, QueryService
+from repro.workloads.bibgen import generate_bibliography
+from repro.workloads.dtds import AUCTION_DTD, BIB_DTD_STRONG
+from repro.workloads.queries import get_query, queries_for_workload
+from repro.workloads.xmark import generate_auction_site
+
+from tests.conftest import PAPER_DOCUMENT, PAPER_FIGURE1_DTD, PAPER_Q3
+
+EXECUTION_MODES = ["threads", "inline"]
+
+
+@pytest.fixture(scope="module")
+def bib_document():
+    return generate_bibliography(num_books=12, seed=42)
+
+
+@pytest.fixture(scope="module")
+def auction_document():
+    return generate_auction_site(scale=0.3, seed=42)
+
+
+@pytest.fixture(scope="module")
+def bib_solo(bib_document):
+    engine = FluxEngine(BIB_DTD_STRONG)
+    return {
+        spec.key: engine.execute(spec.xquery, bib_document).output
+        for spec in queries_for_workload("bib")
+    }
+
+
+@pytest.fixture(scope="module")
+def shared_plan_cache():
+    # One cache for all property examples: each example pays registration,
+    # not recompilation.
+    return PlanCache()
+
+
+def _chunks(document, cuts):
+    positions = sorted({min(cut, len(document)) for cut in cuts})
+    pieces, last = [], 0
+    for position in positions + [len(document)]:
+        if position > last:
+            pieces.append(document[last:position])
+            last = position
+    return pieces
+
+
+class TestRoutingInvariant:
+    """Shared routed output == solo output, any chunking, both modes."""
+
+    @given(
+        execution=st.sampled_from(EXECUTION_MODES),
+        cuts=st.lists(st.integers(min_value=1, max_value=20_000), max_size=8),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_routed_outputs_match_solo_under_random_chunkings(
+        self, bib_document, bib_solo, shared_plan_cache, execution, cuts
+    ):
+        service = QueryService(
+            BIB_DTD_STRONG, plan_cache=shared_plan_cache, execution=execution
+        )
+        for spec in queries_for_workload("bib"):
+            service.register(spec.xquery, key=spec.key)
+        shared_pass = service.open_pass()
+        for piece in _chunks(bib_document, cuts):
+            shared_pass.feed(piece)
+        results = shared_pass.finish()
+        for key, solo_output in bib_solo.items():
+            assert results[key].output == solo_output, key
+
+    @pytest.mark.parametrize("execution", EXECUTION_MODES)
+    def test_auction_fleet_agrees_in_both_modes(self, auction_document, execution):
+        specs = queries_for_workload("auction")
+        engine = FluxEngine(AUCTION_DTD)
+        service = QueryService(AUCTION_DTD, execution=execution)
+        for spec in specs:
+            service.register(spec.xquery, key=spec.key)
+        results = service.run_pass(auction_document)
+        for spec in specs:
+            solo = engine.execute(spec.xquery, auction_document)
+            assert results[spec.key].output == solo.output, spec.key
+
+
+class TestPerQueryCounters:
+    def test_sparse_query_receives_strictly_fewer_events(self, bib_document):
+        service = QueryService(BIB_DTD_STRONG)
+        for spec in queries_for_workload("bib"):
+            service.register(spec.xquery, key=spec.key)
+        service.run_pass(bib_document)
+        metrics = service.metrics.last_pass
+        forwarded = metrics.events_forwarded
+        assert metrics.per_query_forwarded  # filled by finalize_metrics()
+        assert set(metrics.per_query_forwarded) == {
+            spec.key for spec in queries_for_workload("bib")
+        }
+        # Routed + suppressed partitions the union broadcast, per query.
+        for key, routed in metrics.per_query_forwarded.items():
+            assert 0 < routed <= forwarded
+            assert metrics.per_query_pruned[key] == forwarded - routed
+        # The point of routing: somebody beats the union strictly.
+        assert any(
+            routed < forwarded for routed in metrics.per_query_forwarded.values()
+        )
+
+    def test_routing_is_execution_mode_independent(self, bib_document):
+        counts = {}
+        for execution in EXECUTION_MODES:
+            service = QueryService(BIB_DTD_STRONG, execution=execution)
+            for spec in queries_for_workload("bib"):
+                service.register(spec.xquery, key=spec.key)
+            service.run_pass(bib_document)
+            counts[execution] = dict(service.metrics.last_pass.per_query_forwarded)
+        assert counts["threads"] == counts["inline"]
+
+    def test_single_query_pass_routes_everything_forwarded(self, bib_document):
+        service = QueryService(BIB_DTD_STRONG)
+        service.register(get_query("BIB-Q1").xquery, key="q")
+        service.run_pass(bib_document)
+        metrics = service.metrics.last_pass
+        assert metrics.per_query_forwarded["q"] == metrics.events_forwarded
+        assert metrics.per_query_pruned["q"] == 0
+
+
+class TestInlineExecution:
+    def test_inline_pass_spawns_no_threads(self, bib_document):
+        service = QueryService(BIB_DTD_STRONG, execution="inline")
+        for spec in queries_for_workload("bib"):
+            service.register(spec.xquery, key=spec.key)
+        before = threading.active_count()
+        results = service.run_pass(bib_document)
+        assert threading.active_count() == before
+        assert len(results) == len(queries_for_workload("bib"))
+
+    def test_unknown_execution_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QueryService(BIB_DTD_STRONG, execution="fibers")
+        with pytest.raises(ValueError):
+            EvaluatorSession(object(), execution="fibers")
+
+    def test_inline_validation_error_raises_from_feed(self):
+        # The shared validator runs on the dispatch thread in both modes;
+        # with inline sessions the whole failure path is synchronous.
+        from repro.errors import XMLValidationError
+
+        service = QueryService(PAPER_FIGURE1_DTD, execution="inline")
+        service.register(PAPER_Q3, key="q3")
+        shared_pass = service.open_pass()
+        with pytest.raises(XMLValidationError):
+            shared_pass.feed("<bib><bad/></bib>")
+            shared_pass.finish()
+
+
+class TestSharedPassLifecycleFixes:
+    def test_failed_kth_session_start_releases_earlier_workers(self, monkeypatch):
+        # Regression: the 3rd of 4 sessions fails to start; the 2 already
+        # running workers must be aborted, not silently stranded.
+        service = QueryService(BIB_DTD_STRONG)
+        for index, spec in enumerate(queries_for_workload("bib")[:4]):
+            service.register(spec.xquery, key=spec.key)
+        real_start = EvaluatorSession.start
+        calls = {"count": 0}
+
+        def failing_start(session):
+            calls["count"] += 1
+            if calls["count"] == 3:
+                raise RuntimeError("injected start failure")
+            return real_start(session)
+
+        monkeypatch.setattr(EvaluatorSession, "start", failing_start)
+        before = threading.active_count()
+        with pytest.raises(RuntimeError):
+            service.open_pass()
+        assert threading.active_count() == before
+
+    def test_failed_constructor_tail_releases_started_workers(self, monkeypatch):
+        # Same leak class, later in the constructor: all sessions started,
+        # then the routing-index build fails.
+        import repro.service.session as session_module
+
+        def exploding_index(*args, **kwargs):
+            raise RuntimeError("injected index failure")
+
+        monkeypatch.setattr(session_module, "SharedProjectionIndex", exploding_index)
+        service = QueryService(BIB_DTD_STRONG)
+        for spec in queries_for_workload("bib")[:3]:
+            service.register(spec.xquery, key=spec.key)
+        before = threading.active_count()
+        with pytest.raises(RuntimeError):
+            service.open_pass()
+        assert threading.active_count() == before
+
+    def test_feed_and_finish_after_abort_raise_value_error(self):
+        service = QueryService(PAPER_FIGURE1_DTD)
+        service.register(PAPER_Q3, key="q3")
+        shared_pass = service.open_pass()
+        shared_pass.feed(PAPER_DOCUMENT[:40])
+        shared_pass.abort()
+        assert shared_pass.aborted
+        with pytest.raises(ValueError):
+            shared_pass.feed(PAPER_DOCUMENT[40:])
+        with pytest.raises(ValueError):
+            shared_pass.finish()
+
+    def test_context_manager_respects_manual_abort(self):
+        # Regression: __exit__ after a clean block used to call finish(),
+        # which walked into the aborted (dead) sessions.
+        service = QueryService(PAPER_FIGURE1_DTD)
+        service.register(PAPER_Q3, key="q3")
+        with service.open_pass() as shared_pass:
+            shared_pass.feed("<bib>")
+            shared_pass.abort()
+        assert shared_pass.aborted
+        assert service.metrics.passes_completed == 0
+        # The service is still serviceable afterwards.
+        assert service.run_pass(PAPER_DOCUMENT)["q3"].output
+
+    @pytest.mark.parametrize("execution", EXECUTION_MODES)
+    def test_abort_then_fresh_pass_in_both_modes(self, execution):
+        service = QueryService(PAPER_FIGURE1_DTD, execution=execution)
+        service.register(PAPER_Q3, key="q3")
+        doomed = service.open_pass()
+        doomed.feed("<bib>")
+        doomed.abort()
+        results = service.run_pass(PAPER_DOCUMENT)
+        solo = FluxEngine(PAPER_FIGURE1_DTD).execute(PAPER_Q3, PAPER_DOCUMENT)
+        assert results["q3"].output == solo.output
+
+
+class TestRegistrationMetrics:
+    def test_replacement_keeps_live_query_invariant(self):
+        service = QueryService(BIB_DTD_STRONG)
+        service.register(get_query("BIB-Q1").xquery, key="a")
+        service.register(get_query("BIB-Q2").xquery, key="b")
+        service.register(get_query("BIB-Q3").xquery, key="a")  # replaces
+        service.unregister("b")
+        metrics = service.metrics
+        assert metrics.queries_registered == 3
+        assert metrics.queries_replaced == 1
+        assert metrics.queries_unregistered == 1
+        assert (
+            metrics.queries_registered
+            - metrics.queries_unregistered
+            - metrics.queries_replaced
+            == len(service)
+        )
+
+    def test_open_pass_holds_a_registration_snapshot(self, bib_document):
+        # Documented semantics: replacing a key mid-pass does not change
+        # the pass already opened.
+        service = QueryService(BIB_DTD_STRONG)
+        service.register(get_query("BIB-Q1").xquery, key="q")
+        solo = FluxEngine(BIB_DTD_STRONG).execute(
+            get_query("BIB-Q1").xquery, bib_document
+        )
+        shared_pass = service.open_pass()
+        service.register(get_query("BIB-Q2").xquery, key="q")  # replace mid-pass
+        shared_pass.feed(bib_document)
+        results = shared_pass.finish()
+        assert results["q"].output == solo.output
