@@ -20,10 +20,15 @@ document can arrive in arbitrary chunks.  The example shows:
 5. per-query routing — each query receives only the events *its* profile
    admits, not the fleet union — and the threadless inline scheduler
    (``execution="inline"``) producing the same bytes with zero worker
-   threads.
+   threads,
+6. the long-lived serving loop (``serve``): one service over a stream of
+   documents with a query registered mid-loop, and the same loop driven by
+   the asyncio front end (:class:`repro.AsyncQueryService`).
 """
 
-from repro import FluxEngine, QueryService
+import asyncio
+
+from repro import AsyncQueryService, FluxEngine, QueryService
 from repro.workloads import BIB_DTD_STRONG, generate_bibliography
 from repro.workloads.queries import queries_for_workload
 
@@ -91,6 +96,39 @@ def main() -> None:
         for key in inline_results
     )
     print("inline execution (zero worker threads) produced identical results")
+
+    # 6. The serving loop: one long-lived service, many documents, plans
+    #    compiled once; registrations may change between passes.
+    stream = [generate_bibliography(num_books=n, seed=n) for n in (20, 30, 40)]
+    loop_service = QueryService(dtd, execution="inline")
+    loop_service.register(specs[0].xquery, key=specs[0].key)
+    for served in loop_service.serve(stream):
+        print(f"\nserved document {served.index}: "
+              f"{served.metrics.parser_events} events, "
+              f"{len(served.results)} queries")
+        if served.index == 0:
+            loop_service.register(specs[1].xquery, key=specs[1].key)
+            print(f"  registered {specs[1].key} mid-loop "
+                  "(next pass picks it up)")
+    totals = loop_service.metrics
+    print(f"serve loop: {totals.passes_completed} passes, "
+          f"{loop_service.plan_cache.stats.misses} compilations total")
+
+    # ...and the same loop asyncio-native: coroutine ingestion over the
+    # inline scheduler, one await point per chunk, no worker threads.
+    async_service = AsyncQueryService(dtd)
+    for spec in specs:
+        async_service.register(spec.xquery, key=spec.key)
+
+    async def drive():
+        outputs = {}
+        async for served in async_service.serve(stream):
+            outputs[served.index] = served.results
+        return outputs
+
+    async_outputs = asyncio.run(drive())
+    assert len(async_outputs) == len(stream)
+    print("async serve loop produced results for every document")
 
 
 if __name__ == "__main__":

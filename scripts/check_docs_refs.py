@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Check that code references in docs/ARCHITECTURE.md resolve.
+
+Documentation rots silently; this keeps the architecture book honest.  Two
+kinds of backtick-quoted references are checked against the working tree:
+
+* **paths** (anything containing ``/`` or ending in ``.py``/``.md``) must
+  exist relative to the repository root;
+* **symbols** (``ClassName.method``-style dotted names, plus a list of
+  bare class names the document leans on) must be defined somewhere under
+  ``src/`` — checked textually (``class X`` / ``def y``), so the script
+  needs no imports and runs on any Python.
+
+Exit status 0 when everything resolves; 1 with a listing otherwise.
+Run from the repository root (CI does):  ``python scripts/check_docs_refs.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOC = os.path.join(ROOT, "docs", "ARCHITECTURE.md")
+
+#: Bare backticked names that must exist as `class <name>` under src/.
+_CLASS_LIKE = re.compile(r"^[A-Z][A-Za-z0-9]+$")
+#: Dotted references: `Owner.member` or `pkg.mod.Symbol`.
+_DOTTED = re.compile(r"^[A-Za-z_][\w.]*\.[A-Za-z_]\w*$")
+#: References that are CLI flags, literals, or prose — never checked.
+_SKIP = re.compile(r"^(-|--|python |PYTHONPATH|dict$|await |async )")
+
+
+def _source_text() -> str:
+    chunks = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(ROOT, "src")):
+        for filename in filenames:
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                with open(path, "r", encoding="utf-8") as handle:
+                    chunks.append(handle.read())
+    return "\n".join(chunks)
+
+
+def _is_path(ref: str) -> bool:
+    return ("/" in ref and " " not in ref) or ref.endswith((".py", ".md"))
+
+
+def main() -> int:
+    if not os.path.exists(DOC):
+        print(f"missing {DOC}", file=sys.stderr)
+        return 1
+    with open(DOC, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    source = _source_text()
+    failures = []
+    checked = 0
+    for ref in sorted(set(re.findall(r"`([^`\n]+)`", text))):
+        ref = ref.strip()
+        if not ref or _SKIP.search(ref):
+            continue
+        if _is_path(ref):
+            checked += 1
+            if not os.path.exists(os.path.join(ROOT, ref)):
+                failures.append(f"path does not exist: {ref}")
+        elif _DOTTED.match(ref):
+            # The trailing member must be defined somewhere under src/
+            # (method, function, class, or module attribute).
+            member = ref.split("(")[0].split(".")[-1]
+            checked += 1
+            if not re.search(
+                rf"^\s*(?:class|def|async def)\s+{re.escape(member)}\b"
+                rf"|^\s*{re.escape(member)}\s*[:=]"
+                rf"|^{re.escape(member)}\s*=",
+                source,
+                re.MULTILINE,
+            ):
+                failures.append(f"symbol not found under src/: {ref} ({member})")
+        elif _CLASS_LIKE.match(ref):
+            checked += 1
+            if not re.search(rf"^\s*class\s+{re.escape(ref)}\b", source, re.MULTILINE):
+                failures.append(f"class not found under src/: {ref}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} references, {len(failures)} unresolved")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ from repro.errors import (
     XMLValidationError,
     XQuerySyntaxError,
 )
-from repro.service import PlanCache, QueryService
+from repro.service import AsyncQueryService, PlanCache, QueryService
 from repro.xquery.parser import parse_xquery
 
 __version__ = "1.1.0"
@@ -58,6 +58,7 @@ __all__ = [
     "OptimizerPipeline",
     "OptimizedQuery",
     "QueryService",
+    "AsyncQueryService",
     "PlanCache",
     "compile_xquery",
     "parse_xquery",

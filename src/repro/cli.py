@@ -16,15 +16,18 @@ Installed as the ``fluxrepro`` console script, or run as a module::
 * ``compare`` runs the query with all three engines (FluX, projection, DOM)
   and prints a memory/runtime comparison table.
 * ``multi`` serves a whole *directory* of queries (``*.xq``) over one
-  document in a single shared pass: every query is compiled through the
-  service plan cache and executed by the multi-query
-  :class:`~repro.service.QueryService`, so the document is parsed and
-  validated once, not once per query; each query receives only the events
-  the shared router deems relevant to *it*.  ``--execution inline`` swaps
-  the per-query worker threads for the round-robin in-thread scheduler.
-  Results go to ``--output-dir`` (one ``<name>.xml`` per query) or stdout;
-  per-query statistics and the shared scan's savings are reported on
-  stderr, and ``--json`` dumps them machine-readably.
+  document (``--input``) or a whole sequence of documents (``--documents``,
+  the serve loop: one shared pass per document, plans compiled once) —
+  every query is compiled through the shared plan cache and executed by the
+  multi-query :class:`~repro.service.QueryService`, so each document is
+  parsed and validated once, not once per query; each query receives only
+  the events the shared router deems relevant to *it*.  ``--execution``
+  picks the driver: per-query worker threads, the round-robin in-thread
+  scheduler (``inline``), or the asyncio front end over it (``async``).
+  Results go to ``--output-dir`` (one ``<name>.xml`` per query; one
+  subdirectory per document when serving several) or stdout; per-query
+  statistics and the shared scan's savings are reported on stderr, and
+  ``--json`` dumps them machine-readably.
 
 Queries and documents are read from files; ``-`` means stdin.  The DTD can
 be given explicitly with ``--dtd``; otherwise, if the document carries a
@@ -48,7 +51,7 @@ from repro.engines.flux_engine import FluxEngine
 from repro.engines.projection_engine import ProjectionEngine
 from repro.bench.harness import BenchmarkHarness
 from repro.bench.reporting import format_table
-from repro.service import QueryService
+from repro.service import AsyncQueryService, QueryService
 from repro.xmlstream.events import StartElement
 from repro.xmlstream.parser import StreamingXMLParser
 
@@ -142,55 +145,69 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_multi(args: argparse.Namespace) -> int:
+def _load_multi_queries(queries_dir: str):
+    """The ``multi`` query catalogue: ``[(key, xquery text)]`` or an error.
+
+    Returns ``(pairs, error_message)``; an empty directory or a blank query
+    file is a *user* error reported cleanly (no pass is ever opened with
+    zero plans, no parser traceback for an empty file).
+    """
     query_files = sorted(
-        name for name in os.listdir(args.queries) if name.endswith(".xq")
+        name for name in os.listdir(queries_dir) if name.endswith(".xq")
     )
     if not query_files:
-        print(f"no *.xq files in {args.queries}", file=sys.stderr)
-        return 2
-    # Unlike `run`, the shared pass never needs the whole document in
-    # memory: file inputs are streamed (the prolog is re-read separately
-    # for an embedded DOCTYPE); only stdin must be buffered.
-    if args.input == "-":
-        document = sys.stdin.read()
-        dtd = _load_dtd(args.dtd, document)
-    else:
-        document = None
-        if args.dtd:
-            dtd = _load_dtd(args.dtd, None)
-        else:
-            with open(args.input, "r", encoding="utf-8") as prolog:
-                dtd = _load_dtd(None, prolog)
-    service = QueryService(dtd, validate=not args.no_validate, execution=args.execution)
+        return None, f"no *.xq files in {queries_dir}"
+    pairs = []
     for name in query_files:
-        key = os.path.splitext(name)[0]
-        service.register(_read(os.path.join(args.queries, name)), key=key)
-    if document is not None:
-        results = service.run_pass(document)
-    else:
-        with open(args.input, "r", encoding="utf-8") as handle:
-            results = service.run_pass(handle)
-    if args.output_dir:
-        os.makedirs(args.output_dir, exist_ok=True)
+        path = os.path.join(queries_dir, name)
+        text = _read(path)
+        if not text.strip():
+            return None, f"query file {path} is empty"
+        pairs.append((os.path.splitext(name)[0], text))
+    return pairs, None
+
+
+def _document_labels(paths) -> "list":
+    """A unique, filesystem-safe label per served document path."""
+    labels = []
+    taken = set()
+    for path in paths:
+        stem = "stdin" if path == "-" else os.path.splitext(os.path.basename(path))[0]
+        label, count = stem, 1
+        while label in taken:  # suffix until unique, even vs. real stems
+            count += 1
+            label = f"{stem}.{count}"
+        taken.add(label)
+        labels.append(label)
+    return labels
+
+
+def _multi_report_pass(label, results, metrics, args, per_document: bool) -> None:
+    """Print one pass's results/statistics (stdout + stderr)."""
+    prefix = f"{label}/" if per_document else ""
+    out_dir = args.output_dir
+    if out_dir and per_document:
+        out_dir = os.path.join(out_dir, label)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
     for key in sorted(results):
         result = results[key]
-        if args.output_dir:
-            _write_result(result.output, os.path.join(args.output_dir, f"{key}.xml"))
+        if out_dir:
+            _write_result(result.output, os.path.join(out_dir, f"{key}.xml"))
         else:
-            sys.stdout.write(f"<!-- {key} -->\n")
+            sys.stdout.write(f"<!-- {prefix}{key} -->\n")
             _write_result(result.output, None)
-        routed = service.metrics.last_pass.per_query_forwarded.get(key)
+        routed = metrics.per_query_forwarded.get(key)
         routed_note = f", routed: {routed}" if routed is not None else ""
         print(
-            f"[{key}] peak buffer: {result.peak_buffer_bytes} B, "
+            f"[{prefix}{key}] peak buffer: {result.peak_buffer_bytes} B, "
             f"time: {result.stats.elapsed_seconds * 1000:.1f} ms, "
             f"events: {result.stats.events_processed}{routed_note}",
             file=sys.stderr,
         )
-    metrics = service.metrics.last_pass
     print(
-        f"[shared pass] {metrics.queries} queries, one scan: "
+        f"[shared pass{' ' + label if per_document else ''}] "
+        f"{metrics.queries} queries, one scan: "
         f"{metrics.parser_events} parser events "
         f"({metrics.events_saved_vs_solo} saved vs. solo runs), "
         f"{metrics.events_forwarded} forwarded, "
@@ -199,10 +216,99 @@ def _command_multi(args: argparse.Namespace) -> int:
         f"time: {metrics.elapsed_seconds * 1000:.1f} ms",
         file=sys.stderr,
     )
+
+
+def _command_multi(args: argparse.Namespace) -> int:
+    if bool(args.input) == bool(args.documents):
+        print("multi: give exactly one of --input or --documents", file=sys.stderr)
+        return 2
+    queries, error = _load_multi_queries(args.queries)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    paths = args.documents if args.documents else [args.input]
+    labels = _document_labels(paths)
+    per_document = len(paths) > 1
+
+    # Unlike `run`, the shared pass never needs a whole document in memory:
+    # file inputs are streamed (the prolog of the first one is re-read
+    # separately for an embedded DOCTYPE); only stdin must be buffered.
+    stdin_text = sys.stdin.read() if "-" in paths else None
+    if args.dtd:
+        dtd = _load_dtd(args.dtd, None)
+    elif paths[0] == "-":
+        dtd = _load_dtd(None, stdin_text)
+    else:
+        with open(paths[0], "r", encoding="utf-8") as prolog:
+            dtd = _load_dtd(None, prolog)
+
+    def documents():
+        """One text/handle per served path (handles closed after the pass)."""
+        for path in paths:
+            if path == "-":
+                yield stdin_text
+            else:
+                with open(path, "r", encoding="utf-8") as handle:
+                    yield handle
+
+    validate = not args.no_validate
+    # Each pass is reported (stdout/stderr/files) as soon as it finishes —
+    # a long stream never buffers results, and a mid-stream failure leaves
+    # every completed document's output already delivered.  Only the small
+    # per-pass accounting is retained, for the --json summary.
+    served = []  # (label, PassMetrics, {key: stats dict})
+
+    def report(outcome) -> None:
+        label = labels[outcome.index]
+        _multi_report_pass(label, outcome.results, outcome.metrics, args, per_document)
+        served.append(
+            (
+                label,
+                outcome.metrics,
+                {key: result.stats.as_dict() for key, result in outcome.results.items()},
+            )
+        )
+
+    if args.execution == "async":
+        import asyncio
+
+        service = AsyncQueryService(dtd, validate=validate)
+        for key, text in queries:
+            service.register(text, key=key)
+
+        async def drive():
+            async for outcome in service.serve(documents()):
+                report(outcome)
+
+        asyncio.run(drive())
+        sync_service = service.service
+    else:
+        sync_service = QueryService(dtd, validate=validate, execution=args.execution)
+        for key, text in queries:
+            sync_service.register(text, key=key)
+        for outcome in sync_service.serve(documents()):
+            report(outcome)
+
+    if per_document:
+        totals = sync_service.metrics
+        print(
+            f"[serve] {totals.passes_completed} documents, "
+            f"{len(queries)} standing queries, "
+            f"{totals.parser_events_total} parser events total, "
+            f"{totals.events_forwarded_total} forwarded, "
+            f"{totals.events_pruned_total} pruned",
+            file=sys.stderr,
+        )
     if args.json:
-        summary = service.stats_summary()
+        summary = sync_service.stats_summary()
+        summary["execution"] = args.execution
+        summary["documents"] = [
+            {"label": label, **metrics.as_dict()} for label, metrics, _ in served
+        ]
         summary["results"] = {
-            key: result.stats.as_dict() for key, result in results.items()
+            (f"{label}/{key}" if per_document else key): stats
+            for label, _, stats_by_key in served
+            for key, stats in stats_by_key.items()
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -236,25 +342,41 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.set_defaults(handler=_command_compare)
 
     multi_parser = subparsers.add_parser(
-        "multi", help="run a directory of queries over one document in one shared pass"
+        "multi",
+        help="run a directory of queries over one or more documents, "
+        "one shared pass per document",
     )
     multi_parser.add_argument(
         "--queries", "-Q", required=True, help="directory of *.xq query files"
     )
-    multi_parser.add_argument("--input", "-i", required=True, help="XML document file ('-' for stdin)")
-    multi_parser.add_argument("--dtd", "-d", help="DTD file (defaults to the document's DOCTYPE)")
+    multi_parser.add_argument("--input", "-i", help="XML document file ('-' for stdin)")
     multi_parser.add_argument(
-        "--output-dir", "-O", help="directory for per-query results (default stdout)"
+        "--documents",
+        "-D",
+        nargs="+",
+        metavar="DOC",
+        help="serve several XML documents in one process (the serving loop: "
+        "one shared pass each, plans compiled once; '-' for stdin)",
+    )
+    multi_parser.add_argument(
+        "--dtd", "-d", help="DTD file (defaults to the first document's DOCTYPE)"
+    )
+    multi_parser.add_argument(
+        "--output-dir",
+        "-O",
+        help="directory for per-query results (default stdout; one "
+        "subdirectory per document with --documents)",
     )
     multi_parser.add_argument("--json", "-j", help="write service metrics/results as JSON")
     multi_parser.add_argument("--no-validate", action="store_true", help="skip DTD validation")
     multi_parser.add_argument(
         "--execution",
         "-x",
-        choices=["threads", "inline"],
+        choices=["threads", "inline", "async"],
         default="threads",
-        help="per-query runtime driver: worker threads (default) or the "
-        "inline round-robin scheduler on the dispatch thread",
+        help="per-query runtime driver: worker threads (default), the "
+        "inline round-robin scheduler on the dispatch thread, or the "
+        "asyncio front end over the inline scheduler",
     )
     multi_parser.set_defaults(handler=_command_multi)
 

@@ -25,8 +25,9 @@ from typing import Iterable, Optional, Union
 from repro.core.optimizer import OptimizedQuery, OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.engines.base import Engine, QueryResult
-from repro.runtime.compiler import CompiledQueryPlan, compile_query
+from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EvaluatorSession, StreamedEvaluator
+from repro.runtime.plan_cache import PlanCache
 from repro.runtime.plan import PhysicalPlan
 from repro.xmlstream.events import Event
 from repro.xmlstream.parser import parse_events
@@ -46,6 +47,12 @@ class FluxEngine(Engine):
     enable_loop_merging / enable_conditional_elimination /
     enable_path_relativization / use_order_constraints:
         Ablation switches forwarded to the optimizer pipeline (benchmarks T6, F7).
+    plan_cache:
+        An existing :class:`~repro.runtime.plan_cache.PlanCache` to compile
+        through — the same cache type (and, if shared, the same instance)
+        the multi-query service uses, so a query registered with a service
+        and executed solo by an engine pays the optimizer once.  By default
+        the engine owns a fresh bounded cache of ``cache_size`` plans.
     """
 
     name = "flux"
@@ -58,6 +65,8 @@ class FluxEngine(Engine):
         enable_conditional_elimination: bool = True,
         enable_path_relativization: bool = True,
         use_order_constraints: bool = True,
+        plan_cache: Optional[PlanCache] = None,
+        cache_size: int = 128,
     ):
         super().__init__(dtd)
         self.validate = validate
@@ -68,16 +77,22 @@ class FluxEngine(Engine):
             enable_path_relativization=enable_path_relativization,
             use_order_constraints=use_order_constraints,
         )
-        self._plan_cache: dict = {}
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
 
     # ------------------------------------------------------------ compile
 
     def compile(self, query: str) -> "CompiledFluxQuery":
-        """Compile ``query`` once; the result can be executed repeatedly."""
-        if query not in self._plan_cache:
-            entry = compile_query(query, pipeline=self.pipeline)
-            self._plan_cache[query] = CompiledFluxQuery(self, entry)
-        return self._plan_cache[query]
+        """Compile ``query`` through the plan cache.
+
+        Repeated calls with the same text compile once (an LRU hit on the
+        shared :class:`~repro.runtime.plan_cache.PlanCache`); the returned
+        wrapper is a cheap per-call view over the cached
+        :class:`~repro.runtime.compiler.CompiledQueryPlan`, so two calls
+        return equal-but-distinct wrappers around one identical plan entry.
+        Thread-safe: concurrent compilations of one query are single-flight.
+        """
+        entry, _ = self.plan_cache.get_or_compile(query, self.pipeline)
+        return CompiledFluxQuery(self, entry)
 
     # ------------------------------------------------------------ execute
 

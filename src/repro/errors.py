@@ -77,6 +77,16 @@ class EvaluationError(ReproError):
     """Raised when query evaluation fails at runtime."""
 
 
+class PassInProgressError(ReproError):
+    """Raised when a pass is opened while another pass is still in flight.
+
+    A :class:`~repro.service.service.QueryService` serves one shared pass at
+    a time (the pass owns the service's parser position and its sessions);
+    finish or abort the active pass — ``service.active_pass`` names it —
+    before opening the next one.
+    """
+
+
 class BufferError_(ReproError):
     """Raised on invalid buffer-manager usage (e.g. reading a closed scope)."""
 

@@ -13,7 +13,11 @@ This package implements the right half of Figure 2 of the paper:
   DTD;
 * the **streamed query evaluator** (:mod:`repro.runtime.evaluator`) executes
   the physical plan over the XSAX event stream and emits the result as an
-  output XML stream.
+  output XML stream;
+* the **plan cache** (:mod:`repro.runtime.plan_cache`) is the single
+  compilation gateway shared by the engine and the multi-query service — a
+  bounded, thread-safe LRU of compiled plans keyed by ``(query text, DTD
+  fingerprint, pipeline config)`` with single-flight compilation.
 """
 
 from repro.runtime.stats import RuntimeStats
@@ -23,8 +27,13 @@ from repro.runtime.xsax import ConditionRegistry, OnFirstEvent, XSAXReader
 from repro.runtime.plan import PhysicalPlan
 from repro.runtime.compiler import QueryCompiler, compile_flux
 from repro.runtime.evaluator import StreamedEvaluator
+from repro.runtime.plan_cache import CacheStats, PlanCache, cache_key, dtd_fingerprint
 
 __all__ = [
+    "CacheStats",
+    "PlanCache",
+    "cache_key",
+    "dtd_fingerprint",
     "RuntimeStats",
     "BufferManager",
     "StreamScopeNode",

@@ -5,31 +5,51 @@ Public surface:
 * :class:`QueryService` — register many XQueries, execute them all in a
   single shared pass with push-based ingestion, driven by worker threads
   or the inline round-robin scheduler (``execution="threads"|"inline"``);
+  :meth:`QueryService.serve` is the long-lived loop (one pass per document
+  of a stream, registration churn allowed between passes);
+* :class:`AsyncQueryService` / :class:`AsyncSharedPass` — the asyncio
+  ingestion front end over the inline scheduler (coroutine ``feed`` /
+  ``finish`` / ``serve``);
 * :class:`SharedPass` — one in-flight pass (``feed(text)`` / ``finish()``);
-* :class:`PlanCache` / :class:`CacheStats` — LRU plan cache keyed by
-  ``(query text, DTD fingerprint)``, with single-flight compilation;
+  one pass is in flight per service at a time
+  (:class:`~repro.errors.PassInProgressError` guards overlap);
+* :class:`PlanCache` / :class:`CacheStats` — the LRU plan cache keyed by
+  ``(query text, DTD fingerprint)`` with single-flight compilation.  It
+  lives in :mod:`repro.runtime.plan_cache` (re-exported here) so the solo
+  ``FluxEngine`` compiles through the very same cache type — and, when
+  shared, the same instance — as the service;
 * :class:`PlanProfile` / :class:`SharedProjectionIndex` — the static
   analysis behind the per-query event router;
 * :class:`ServiceMetrics` / :class:`PassMetrics` — accounting, including
-  per-query routed/suppressed event counts.
+  per-query routed/suppressed event counts; :class:`ServedDocument` — one
+  serve-loop step's results and pass metrics.
+
+See ``docs/ARCHITECTURE.md`` for the event flow, lifecycle state machines,
+and execution modes.
 """
 
+from repro.errors import PassInProgressError
 from repro.runtime.evaluator import EXECUTION_MODES
+from repro.runtime.plan_cache import CacheStats, PlanCache, cache_key, dtd_fingerprint
+from repro.service.async_service import AsyncQueryService, AsyncSharedPass
 from repro.service.dispatcher import (
     PlanProfile,
     SharedDispatcher,
     SharedProjectionIndex,
 )
 from repro.service.metrics import PassMetrics, ServiceMetrics
-from repro.service.plan_cache import CacheStats, PlanCache, cache_key, dtd_fingerprint
-from repro.service.service import QueryService
+from repro.service.service import QueryService, ServedDocument
 from repro.service.session import RegisteredQuery, SharedPass, SHARED_ENGINE_NAME
 
 __all__ = [
     "QueryService",
+    "AsyncQueryService",
+    "AsyncSharedPass",
+    "ServedDocument",
     "SharedPass",
     "RegisteredQuery",
     "SHARED_ENGINE_NAME",
+    "PassInProgressError",
     "PlanCache",
     "CacheStats",
     "cache_key",

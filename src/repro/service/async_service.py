@@ -1,0 +1,251 @@
+"""Asyncio ingestion front end over the inline scheduler.
+
+PR 2 rewrote the streamed evaluator as re-entrant generators: a per-query
+runtime *suspends* when its input starves instead of blocking a worker
+thread.  That makes a coroutine driver mechanical — there is no thread to
+hand events to, so ``await``-ing between feeds is all the cooperation an
+event loop needs.  :class:`AsyncQueryService` packages that:
+
+* it owns an inline-mode :class:`~repro.service.service.QueryService`
+  (``execution="inline"`` is forced: the threads mode would block the event
+  loop on channel back-pressure, exactly what asyncio must never do);
+* :meth:`AsyncQueryService.open_pass` returns an :class:`AsyncSharedPass`
+  whose ``await feed(chunk)`` parses, routes, and round-robins the
+  suspended evaluations synchronously — the work is CPU-bound and brief per
+  chunk — then yields control to the event loop, so a server can interleave
+  many connections' chunks with query evaluation on one thread;
+* :meth:`AsyncQueryService.serve` is the async serving loop: one pass per
+  document, documents from a plain iterable *or* an async iterable (e.g. a
+  queue of uploads), with registration changes allowed between passes.
+
+Concurrency contract: this is cooperative single-threaded concurrency, not
+parallelism.  One event loop drives the service; like the sync service it
+serves one shared pass at a time (``open_pass`` raises
+:class:`~repro.errors.PassInProgressError` while one is in flight), and a
+pass must be fed from one coroutine.  The plan cache underneath remains
+fully thread-safe and may be shared with sync services and engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
+
+from repro.dtd.schema import DTD
+from repro.engines.base import QueryResult
+from repro.runtime.plan_cache import PlanCache
+from repro.service.metrics import PassMetrics, ServiceMetrics
+from repro.service.service import QueryService, ServedDocument, _READ_CHUNK
+from repro.service.session import RegisteredQuery, SharedPass
+
+
+class AsyncSharedPass:
+    """One shared pass driven from a coroutine.
+
+    An async wrapper over :class:`~repro.service.session.SharedPass` whose
+    sessions are inline (threadless) evaluations.  ``await feed(text)``
+    advances parsing, routing, and every suspended per-query evaluation on
+    the current thread, then cedes the event loop; ``await finish()``
+    closes the input and returns ``{key: QueryResult}``.  Lifecycle mirrors
+    the sync pass: single feeder coroutine, idempotent ``finish``, ``abort``
+    (sync — it only tears down suspended generators) usable from anywhere,
+    and ``async with`` finishing on clean exit / aborting on exception.
+    """
+
+    def __init__(self, shared_pass: SharedPass):
+        self._pass = shared_pass
+
+    @property
+    def metrics(self) -> PassMetrics:
+        return self._pass.metrics
+
+    @property
+    def aborted(self) -> bool:
+        return self._pass.aborted
+
+    async def feed(self, text: str) -> None:
+        """Ingest the next chunk, then yield control to the event loop.
+
+        The chunk's full pipeline (incremental parse, shared validation,
+        routing, resuming each starved evaluation) runs synchronously on
+        the loop's thread — keep chunks reasonably sized to bound the time
+        between ``await`` points.  Errors (malformed/invalid input,
+        evaluation failures) abort the pass and surface here.
+        """
+        self._pass.feed(text)
+        await asyncio.sleep(0)
+
+    async def finish(self) -> Dict[str, QueryResult]:
+        """Close the input and return one result per registered query."""
+        results = self._pass.finish()
+        await asyncio.sleep(0)
+        return results
+
+    def abort(self) -> None:
+        """Tear down the pass, discarding partial output (idempotent)."""
+        self._pass.abort()
+
+    async def __aenter__(self) -> "AsyncSharedPass":
+        return self
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is not None or self._pass.aborted:
+            self._pass.abort()
+        else:
+            await self.finish()
+
+
+async def _iter_documents(documents) -> AsyncIterator[Union[str, io.TextIOBase]]:
+    """Yield from a plain iterable or an async iterable of documents."""
+    if hasattr(documents, "__aiter__"):
+        async for document in documents:
+            yield document
+    else:
+        for document in documents:
+            yield document
+
+
+class AsyncQueryService:
+    """The multi-query service behind an asyncio-native API.
+
+    Construction mirrors :class:`~repro.service.service.QueryService`
+    (schema, validation flag, shareable plan cache) minus ``execution``:
+    the inline scheduler is mandatory, because it is what lets one OS
+    thread — the event loop's — interleave ingestion and N query
+    evaluations without blocking.
+
+    Registration (:meth:`register` / :meth:`unregister`) is synchronous and
+    inherited unchanged: compilation happens at registration time, off the
+    serving path (await-free on purpose — a slow optimizer run is a startup
+    cost, not a serving stall; share a pre-warmed plan cache to avoid it
+    entirely).  All methods must be called from the event loop's thread.
+    """
+
+    def __init__(
+        self,
+        dtd: Union[DTD, str, None] = None,
+        validate: bool = True,
+        plan_cache: Optional[PlanCache] = None,
+        cache_size: int = 128,
+    ):
+        self._service = QueryService(
+            dtd,
+            validate=validate,
+            plan_cache=plan_cache,
+            cache_size=cache_size,
+            execution="inline",
+        )
+
+    # ------------------------------------------------------- registration
+
+    def register(self, query: str, key: Optional[str] = None) -> RegisteredQuery:
+        """Register a standing query (see :meth:`QueryService.register`)."""
+        return self._service.register(query, key=key)
+
+    def register_all(self, queries: Iterable[str]) -> List[RegisteredQuery]:
+        """Register several queries at once (autogenerated keys)."""
+        return self._service.register_all(queries)
+
+    def unregister(self, key: str) -> None:
+        """Remove a standing query; unknown keys raise ``KeyError``."""
+        self._service.unregister(key)
+
+    @property
+    def registrations(self) -> Dict[str, RegisteredQuery]:
+        return self._service.registrations
+
+    def __len__(self) -> int:
+        return len(self._service)
+
+    # ----------------------------------------------------------- plumbing
+
+    @property
+    def service(self) -> QueryService:
+        """The wrapped synchronous service (shared metrics and cache)."""
+        return self._service
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self._service.metrics
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._service.plan_cache
+
+    def stats_summary(self) -> Dict[str, object]:
+        """Service metrics plus plan-cache counters, for logs and benches."""
+        return self._service.stats_summary()
+
+    # ---------------------------------------------------------- execution
+
+    def open_pass(self, chunk_size: int = 256) -> AsyncSharedPass:
+        """Open a coroutine-driven shared pass over one document.
+
+        One pass at a time, like the sync service: raises
+        :class:`~repro.errors.PassInProgressError` while a pass is in
+        flight.  (Synchronous on purpose: opening a pass only snapshots
+        registrations and builds suspended generators — nothing blocks.)
+        """
+        return AsyncSharedPass(self._service.open_pass(chunk_size=chunk_size))
+
+    async def run_pass(
+        self, document: Union[str, io.TextIOBase]
+    ) -> Dict[str, QueryResult]:
+        """Run all registered queries over one document in one shared scan.
+
+        ``document`` is XML text or a (synchronous) file-like object; file
+        reads are chunked, with an ``await`` point per chunk.
+        """
+        shared_pass = self.open_pass()
+        try:
+            await self._feed_document(shared_pass, document)
+            return await shared_pass.finish()
+        except BaseException:
+            shared_pass.abort()
+            raise
+
+    async def _feed_document(self, shared_pass: AsyncSharedPass, document) -> None:
+        if isinstance(document, str):
+            await shared_pass.feed(document)
+            return
+        while True:
+            chunk = document.read(_READ_CHUNK)
+            if not chunk:
+                break
+            await shared_pass.feed(chunk)
+
+    async def serve(
+        self,
+        documents,
+        chunk_size: int = 256,
+    ) -> AsyncIterator[ServedDocument]:
+        """Async serving loop: one shared pass per document.
+
+        ``documents`` is a plain or *async* iterable of XML texts /
+        file-like objects.  Semantics match
+        :meth:`QueryService.serve` — per-document registration snapshots,
+        churn allowed between passes, ``ValueError`` on an empty service,
+        abort-and-propagate on a failing document — with an ``await`` point
+        at least once per fed chunk:
+
+        >>> async for served in service.serve(queue):   # doctest: +SKIP
+        ...     handle(served.results)
+        """
+        index = 0
+        async for document in _iter_documents(documents):
+            if not len(self._service):
+                raise ValueError(
+                    f"serve(): no queries registered when document {index} arrived"
+                )
+            shared_pass = self.open_pass(chunk_size=chunk_size)
+            try:
+                await self._feed_document(shared_pass, document)
+                results = await shared_pass.finish()
+            except BaseException:
+                shared_pass.abort()
+                raise
+            yield ServedDocument(
+                index=index, results=results, metrics=shared_pass.metrics
+            )
+            index += 1

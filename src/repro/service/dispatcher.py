@@ -44,6 +44,11 @@ stream its own solo filter would have admitted.
 Per-query validation is disabled inside a shared pass; the dispatcher
 validates the *unfiltered* stream once (``validate=True`` on the service),
 which preserves the error behaviour of solo runs at a fifth of the cost.
+
+Thread-safety: everything in this module is per-pass state owned by the
+single thread (or coroutine) feeding the pass.  :class:`PlanProfile` is the
+exception — it is immutable after construction and hangs off a long-lived
+registration, so it may be read by any number of later passes.
 """
 
 from __future__ import annotations
@@ -147,6 +152,11 @@ class SharedProjectionIndex:
     need the event.  A zero mask means the event is skipped *once* for all
     of them; the savings — global and per query — are recorded in the pass
     metrics (per-query counters are written by :meth:`finalize_metrics`).
+
+    Lifecycle: one index per pass, fed exactly one document's events in
+    order by one driver; it is not reusable across documents (the element
+    stack would be stale).  Not thread-safe — the owning pass serializes
+    all calls.
     """
 
     def __init__(
@@ -326,6 +336,11 @@ class SharedDispatcher:
     registration order: with inline sessions this *is* the scheduler — each
     ``feed`` re-enters that session's evaluation generator on this thread
     until it has consumed its chunk.
+
+    Lifecycle: one dispatcher per pass; ``dispatch`` any number of times,
+    then ``flush`` exactly once (the pass's ``finish`` does).  Not
+    thread-safe — driven by the pass's single feeding thread; the sessions
+    it feeds provide their own cross-thread hand-off in threads mode.
     """
 
     def __init__(

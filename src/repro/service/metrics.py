@@ -13,9 +13,16 @@ Two layers of counters:
   quantifies the point of the service: with N registered queries, N
   independent runs would have parsed the document N times.
 * :class:`ServiceMetrics` — service lifetime: registrations, compilations,
-  passes, and the running totals across passes.  Plan-cache hit/miss counts
-  live on the cache itself (:class:`repro.service.plan_cache.CacheStats`)
-  and are merged into :meth:`ServiceMetrics.as_dict` by the service.
+  passes, and the running totals across passes (the substrate of the
+  serve loop's cumulative accounting; each pass's own numbers ride on the
+  :class:`~repro.service.service.ServedDocument` it produced).  Plan-cache
+  hit/miss counts live on the cache itself
+  (:class:`repro.runtime.plan_cache.CacheStats`) and are merged into
+  :meth:`ServiceMetrics.as_dict` by the service.
+
+Thread-safety: both dataclasses are plain counters mutated by the single
+thread driving the service/pass; they carry no locks.  Read them between
+passes (or after ``finish()``), not while a pass is being fed.
 """
 
 from __future__ import annotations

@@ -1,204 +1,28 @@
-"""LRU cache of compiled query plans.
+"""Compatibility shim: the plan cache moved to :mod:`repro.runtime.plan_cache`.
 
-Registering the same query text twice — or the same query under the same
-schema in two different service instances sharing a cache — must not pay the
-optimizer twice.  Plans are cached under ``(query text, DTD fingerprint)``:
-
-* the *query text* because compilation is deterministic in it (given a
-  pipeline configuration),
-* the *DTD fingerprint* (:meth:`repro.dtd.schema.DTD.fingerprint`) because
-  every stage of the pipeline — algebraic rewriting, scheduling, the BDF,
-  XSAX condition registration — bakes schema constraints into the plan.  A
-  plan compiled under one DTD is wrong (not merely suboptimal) under
-  another, so a schema change is a cache miss by construction.
-
-Because compilation is deterministic only *given a pipeline configuration*,
-the key carries a third component: the pipeline's ablation-switch digest
-(:meth:`~repro.core.optimizer.OptimizerPipeline.config_fingerprint`).  An
-ablation pipeline therefore never shares entries with the default one.
-
-The cache is bounded and LRU-evicting, thread-safe (all entry reads and
-writes — including ``len()`` and ``in`` — hold the cache lock), and exposes
-hit/miss/eviction counters for the service metrics.  Concurrent
-:meth:`PlanCache.get_or_compile` misses on the same key are *single-flight*:
-one caller compiles while the others wait for (and share) its plan, so a
-thundering herd of identical registrations pays the optimizer once.
+The cache used to live here, in the service layer, while ``FluxEngine`` kept
+a private unbounded ``dict`` of compiled plans.  Unifying the two would have
+forced an ``engines → service`` import, the wrong direction for the layering
+(the service is built *on* the engines' runtime, not under it), so the cache
+now lives beside the compiler in ``repro.runtime`` and both layers share it.
+This module re-exports the public names so existing imports keep working;
+new code should import from :mod:`repro.runtime.plan_cache` directly.
 """
 
-from __future__ import annotations
+from repro.runtime.plan_cache import (
+    DEFAULT_PIPELINE_CONFIG,
+    NO_DTD_FINGERPRINT,
+    CacheStats,
+    PlanCache,
+    cache_key,
+    dtd_fingerprint,
+)
 
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
-
-from repro.core.optimizer import OptimizerPipeline
-from repro.dtd.schema import DTD
-from repro.runtime.compiler import CompiledQueryPlan, compile_query
-
-#: Fingerprint stand-in for "no schema" (plans then use maximal buffering).
-NO_DTD_FINGERPRINT = "no-dtd"
-
-#: Configuration digest of a default (all optimizations on) pipeline.
-DEFAULT_PIPELINE_CONFIG = OptimizerPipeline().config_fingerprint()
-
-
-def dtd_fingerprint(dtd: Optional[DTD]) -> str:
-    """The cache-key component for a schema (``None`` allowed)."""
-    return dtd.fingerprint() if dtd is not None else NO_DTD_FINGERPRINT
-
-
-def cache_key(
-    query: str, dtd: Optional[DTD], config: str = DEFAULT_PIPELINE_CONFIG
-) -> Tuple[str, str, str]:
-    """The cache key for ``query`` compiled under ``dtd`` and ``config``."""
-    return (query, dtd_fingerprint(dtd), config)
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss accounting of one :class:`PlanCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
-
-
-class _Flight:
-    """One in-progress compilation shared by concurrent cache misses."""
-
-    __slots__ = ("done", "entry", "error")
-
-    def __init__(self) -> None:
-        self.done = threading.Event()
-        self.entry: Optional[CompiledQueryPlan] = None
-        self.error: Optional[BaseException] = None
-
-
-class PlanCache:
-    """Bounded LRU cache of :class:`~repro.runtime.compiler.CompiledQueryPlan`.
-
-    A single cache can back several services (or engines) at once: entries
-    from different schemas coexist because the fingerprint is part of the
-    key.  ``capacity`` bounds the number of cached plans; the least recently
-    *used* (looked up or inserted) entry is evicted first.
-    """
-
-    def __init__(self, capacity: int = 128):
-        if capacity < 1:
-            raise ValueError("plan cache capacity must be at least 1")
-        self.capacity = capacity
-        self.stats = CacheStats()
-        self._entries: "OrderedDict[Tuple[str, str, str], CompiledQueryPlan]" = OrderedDict()
-        self._lock = threading.Lock()
-        # In-progress compilations, for single-flight get_or_compile().
-        self._inflight: Dict[Tuple[str, str, str], "_Flight"] = {}
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: Tuple[str, str, str]) -> bool:
-        with self._lock:
-            return key in self._entries
-
-    def get(
-        self,
-        query: str,
-        dtd: Optional[DTD],
-        config: str = DEFAULT_PIPELINE_CONFIG,
-    ) -> Optional[CompiledQueryPlan]:
-        """The cached plan for ``(query, dtd, config)``, or ``None`` (a miss)."""
-        key = cache_key(query, dtd, config)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-
-    def put(self, entry: CompiledQueryPlan) -> None:
-        """Insert a compiled plan, evicting the LRU entry when full."""
-        key = cache_key(entry.source, entry.dtd, entry.pipeline_config)
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = entry
-                return
-            while len(self._entries) >= self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
-            self._entries[key] = entry
-
-    def get_or_compile(
-        self,
-        query: str,
-        pipeline: OptimizerPipeline,
-    ) -> Tuple[CompiledQueryPlan, bool]:
-        """``(plan, from_cache)`` for ``query`` under ``pipeline``'s schema
-        and configuration, compiling (and caching) the plan on a miss.
-
-        Concurrent misses on the same key compile once: the first caller
-        (the *leader*) runs the optimizer outside the cache lock while
-        followers wait on its flight and share the plan.  ``from_cache``
-        reports whether *this* call's plan came without compiling — a hit,
-        or a followed flight — so it stays accurate even when the cache is
-        shared and other callers race.  A leader's compilation error
-        propagates to its followers; the flight is cleared, so later calls
-        retry.
-        """
-        key = cache_key(query, pipeline.dtd, pipeline.config_fingerprint())
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return entry, True
-            self.stats.misses += 1
-            flight = self._inflight.get(key)
-            if flight is None:
-                flight = self._inflight[key] = _Flight()
-                leader = True
-            else:
-                leader = False
-        if not leader:
-            flight.done.wait()
-            if flight.error is not None:
-                raise flight.error
-            return flight.entry, True
-        try:
-            entry = compile_query(query, pipeline=pipeline)
-        except BaseException as exc:
-            flight.error = exc
-            raise
-        else:
-            flight.entry = entry
-            self.put(entry)
-            return entry, False
-        finally:
-            with self._lock:
-                self._inflight.pop(key, None)
-            flight.done.set()
-
-    def clear(self) -> None:
-        """Drop all entries (stats are kept)."""
-        with self._lock:
-            self._entries.clear()
+__all__ = [
+    "DEFAULT_PIPELINE_CONFIG",
+    "NO_DTD_FINGERPRINT",
+    "CacheStats",
+    "PlanCache",
+    "cache_key",
+    "dtd_fingerprint",
+]

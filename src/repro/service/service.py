@@ -5,9 +5,11 @@ The paper's engine evaluates *one* schema-scheduled query per document scan.
 XQuery registrations cost one parse of the XML stream, not N —
 
 * **register** compiles each query through the shared
-  :class:`~repro.core.optimizer.OptimizerPipeline`, behind an LRU
-  :class:`~repro.service.plan_cache.PlanCache` keyed by
-  ``(query text, DTD fingerprint)``;
+  :class:`~repro.core.optimizer.OptimizerPipeline`, behind the LRU
+  :class:`~repro.runtime.plan_cache.PlanCache` keyed by
+  ``(query text, DTD fingerprint)`` — the same cache type the solo
+  :class:`~repro.engines.flux_engine.FluxEngine` compiles through, so a
+  cache instance can be shared across engines and services;
 * **run_pass / open_pass** execute *all* registered plans in a single
   shared pass over the document: one incremental parser feed, one shared
   validation, a union projection-path index that skips events irrelevant to
@@ -19,24 +21,58 @@ Ingestion is push-based and resumable: ``open_pass()`` returns a
 document chunks as they arrive (a socket, a file tail, ...) and whose
 ``finish()`` yields one byte-identical-to-solo
 :class:`~repro.engines.base.QueryResult` per query.
+
+The service is *long-lived*: :meth:`QueryService.serve` runs one shared
+pass per document of a stream of documents, reusing the registered (and
+cached) plans across passes while starting fresh per-query
+:class:`~repro.runtime.evaluator.EvaluatorSession` runtimes for each
+document.  Registrations may change between passes — each pass snapshots
+the registrations current when it opens — and the service guards itself
+against overlapping passes: it serves exactly one pass at a time and
+:meth:`open_pass` raises :class:`~repro.errors.PassInProgressError` while
+one is in flight.
+
+Thread-safety contract: registration (``register``/``unregister``) and pass
+execution are designed for a single driving thread; the plan cache below
+them is fully thread-safe, so concurrent *compilation* (e.g. registering
+the same query from several services sharing a cache) is safe, but one
+``QueryService`` instance must not be driven from two threads at once.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, Union
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
 from repro.engines.base import QueryResult
+from repro.errors import PassInProgressError
 from repro.runtime.evaluator import EXECUTION_MODES
-from repro.service.metrics import ServiceMetrics
-from repro.service.plan_cache import PlanCache
+from repro.runtime.plan_cache import PlanCache
+from repro.service.metrics import PassMetrics, ServiceMetrics
 from repro.service.session import RegisteredQuery, SharedPass
 
 #: Default read granularity when a pass ingests a file-like document.
 _READ_CHUNK = 1 << 16
+
+
+@dataclass
+class ServedDocument:
+    """One document's outcome inside a :meth:`QueryService.serve` loop.
+
+    ``index`` is the document's position in the served sequence, ``results``
+    maps registration keys to byte-identical-to-solo query results, and
+    ``metrics`` is the pass's own accounting (the cumulative totals live on
+    :attr:`QueryService.metrics`).
+    """
+
+    index: int
+    results: Dict[str, QueryResult]
+    metrics: PassMetrics
 
 
 class QueryService:
@@ -84,6 +120,10 @@ class QueryService:
         self.metrics = ServiceMetrics()
         self._registrations: "Dict[str, RegisteredQuery]" = {}
         self._counter = 0
+        # Weak on purpose: the service must not keep an abandoned pass
+        # alive, or its finalizer (which aborts and releases the per-query
+        # workers) could never run.
+        self._active_pass_ref: Optional["weakref.ref[SharedPass]"] = None
 
     # ------------------------------------------------------- registration
 
@@ -128,6 +168,32 @@ class QueryService:
 
     # ---------------------------------------------------------- execution
 
+    @property
+    def active_pass(self) -> Optional[SharedPass]:
+        """The pass currently in flight, or ``None``.
+
+        The service serves one shared pass at a time: while this is not
+        ``None``, :meth:`open_pass` (and therefore :meth:`run_pass` and
+        :meth:`serve`) raises :class:`~repro.errors.PassInProgressError`.
+        The slot frees itself when the pass finishes or aborts (including
+        via its context manager or finalizer), or when an abandoned pass is
+        garbage collected.
+        """
+        if self._active_pass_ref is None:
+            return None
+        shared_pass = self._active_pass_ref()
+        if shared_pass is None:
+            self._active_pass_ref = None
+        return shared_pass
+
+    def _pass_closed(self, shared_pass: SharedPass) -> None:
+        # Callback from the pass's first finish/abort; a pass that failed
+        # mid-construction closes too, before it ever occupied the slot.
+        if self._active_pass_ref is not None:
+            current = self._active_pass_ref()
+            if current is shared_pass or current is None:
+                self._active_pass_ref = None
+
     def open_pass(self, chunk_size: int = 256) -> SharedPass:
         """Open a push-based shared pass over one document.
 
@@ -137,15 +203,44 @@ class QueryService:
         driven.  The pass executes a *snapshot* of the current
         registrations: queries registered, replaced, or unregistered while
         the pass is open do not affect it.
+
+        One pass at a time: opening a second pass while :attr:`active_pass`
+        is still in flight raises
+        :class:`~repro.errors.PassInProgressError` — finish or abort the
+        active pass first.  (The pass owns shared mutable state — parser
+        position, per-query sessions — so overlapping passes on one service
+        cannot be made safe; open a second service sharing the
+        :attr:`plan_cache` to scan two documents concurrently.)
         """
-        return SharedPass(
+        if self.active_pass is not None:
+            raise PassInProgressError(
+                "a shared pass is already in flight on this service; "
+                "finish() or abort() it before opening another"
+            )
+        shared_pass = SharedPass(
             list(self._registrations.values()),
             self.dtd,
             self.validate,
             chunk_size=chunk_size,
             on_complete=self.metrics.record_pass,
             execution=self.execution,
+            on_close=self._pass_closed,
         )
+        self._active_pass_ref = weakref.ref(shared_pass)
+        return shared_pass
+
+    def _feed_document(
+        self, shared_pass: SharedPass, document: Union[str, io.TextIOBase]
+    ) -> None:
+        """Push one whole document (text or file-like) into ``shared_pass``."""
+        if isinstance(document, str):
+            shared_pass.feed(document)
+            return
+        while True:
+            chunk = document.read(_READ_CHUNK)
+            if not chunk:
+                break
+            shared_pass.feed(chunk)
 
     def run_pass(self, document: Union[str, io.TextIOBase]) -> Dict[str, QueryResult]:
         """Run all registered queries over ``document`` in one shared scan.
@@ -155,15 +250,58 @@ class QueryService:
         byte-identical to a solo ``FluxEngine.execute`` of that query.
         """
         shared_pass = self.open_pass()
-        if isinstance(document, str):
-            shared_pass.feed(document)
-        else:
-            while True:
-                chunk = document.read(_READ_CHUNK)
-                if not chunk:
-                    break
-                shared_pass.feed(chunk)
-        return shared_pass.finish()
+        try:
+            self._feed_document(shared_pass, document)
+            return shared_pass.finish()
+        except BaseException:
+            shared_pass.abort()
+            raise
+
+    def serve(
+        self,
+        documents: Iterable[Union[str, io.TextIOBase]],
+        chunk_size: int = 256,
+    ) -> Iterator[ServedDocument]:
+        """Serve a stream of documents: one shared pass per document.
+
+        The long-lived serving loop.  ``documents`` is any iterable of XML
+        texts or file-like objects; for each one the service opens a pass
+        over the *current* registrations, runs every registered plan (fresh
+        per-query runtimes per document; compiled plans are reused from the
+        registrations), and yields a :class:`ServedDocument`.  Because this
+        is a generator, callers may register, unregister, or replace
+        queries between ``next()`` steps — the next document picks up the
+        changed registrations, while per-pass metrics and the cumulative
+        :attr:`metrics` stay consistent:
+
+        >>> loop = service.serve(documents)            # doctest: +SKIP
+        >>> first = next(loop)                         # doctest: +SKIP
+        >>> service.register(new_query, key="extra")   # doctest: +SKIP
+        >>> second = next(loop)                        # includes "extra"
+
+        Serving an empty service raises ``ValueError`` at the offending
+        document (a pass needs at least one plan).  A document that fails
+        mid-pass aborts that pass (releasing its slot and workers) and
+        propagates the error; the generator is then exhausted — decide in
+        the caller whether to re-``serve`` the remaining documents.
+        Single-driver like everything on the service: drive the generator
+        from one thread.
+        """
+        for index, document in enumerate(documents):
+            if not self._registrations:
+                raise ValueError(
+                    f"serve(): no queries registered when document {index} arrived"
+                )
+            shared_pass = self.open_pass(chunk_size=chunk_size)
+            try:
+                self._feed_document(shared_pass, document)
+                results = shared_pass.finish()
+            except BaseException:
+                shared_pass.abort()
+                raise
+            yield ServedDocument(
+                index=index, results=results, metrics=shared_pass.metrics
+            )
 
     # ----------------------------------------------------------- reporting
 

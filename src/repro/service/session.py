@@ -31,7 +31,14 @@ SHARED_ENGINE_NAME = "flux-shared"
 
 
 class RegisteredQuery:
-    """One standing query registered with a :class:`QueryService`."""
+    """One standing query registered with a :class:`QueryService`.
+
+    Lifecycle: created by ``register()``, lives until unregistered or
+    replaced, and is *shared* by every pass that snapshots it — the compiled
+    plan and :class:`~repro.service.dispatcher.PlanProfile` are immutable,
+    so reuse across passes is free.  Only ``passes`` mutates (incremented by
+    each finishing pass), under the service's single-driver contract.
+    """
 
     def __init__(self, key: str, entry: CompiledQueryPlan, from_cache: bool):
         self.key = key
@@ -91,6 +98,14 @@ class SharedPass:
     and a pass dropped without either call is aborted by its finalizer, so
     an abandoned pass cannot strand its per-query worker threads blocked on
     input that will never arrive.
+
+    Lifecycle: ``open → (feed)* → finish`` or ``open → (feed)* → abort``;
+    ``finish`` is idempotent (later calls return the same results) and a
+    finished or aborted pass is *closed* — it releases its slot on the
+    owning :class:`~repro.service.service.QueryService`, which serves one
+    pass at a time.  Thread-safety: a pass is single-driver — all ``feed``/
+    ``finish`` calls must come from one thread (or one coroutine); only
+    ``abort`` may be called from elsewhere.
     """
 
     def __init__(
@@ -101,12 +116,15 @@ class SharedPass:
         chunk_size: int = 256,
         on_complete=None,
         execution: str = "threads",
+        on_close=None,
     ):
         if not registrations:
             raise ValueError("a shared pass needs at least one registered query")
         self._registrations = list(registrations)
         self._metrics = PassMetrics(queries=len(self._registrations))
         self._aborted = False
+        self._closed = False
+        self._on_close = on_close
         self._results: Optional[Dict[str, QueryResult]] = None
         self._runs: List[_QueryRun] = []
         try:
@@ -177,13 +195,27 @@ class SharedPass:
             self._results = results
             if self._on_complete is not None:
                 self._on_complete(self._metrics, len(results))
+            self._close()
         return self._results
 
     def abort(self) -> None:
-        """Tear down all per-query sessions, discarding partial output."""
+        """Tear down all per-query sessions, discarding partial output.
+
+        Idempotent, callable from any state (including mid-construction);
+        the first call releases the pass's slot on the owning service.
+        """
         self._aborted = True
         for run in self._runs:
             run.session.abort()
+        self._close()
+
+    def _close(self) -> None:
+        """Release the service's active-pass slot, exactly once."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._on_close is not None:
+            self._on_close(self)
 
     def __enter__(self) -> "SharedPass":
         return self

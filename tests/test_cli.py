@@ -123,6 +123,91 @@ class TestMultiCommand:
         assert exit_code == 2
         assert "no *.xq files" in capsys.readouterr().err
 
+    def test_multi_with_blank_query_file_errors(self, files, query_dir, capsys):
+        # A blank *.xq must exit with a clear message naming the file, not
+        # open a pass (or dump a parser traceback).
+        (query_dir / "blank.xq").write_text("   \n")
+        exit_code = main(["multi", "-Q", str(query_dir),
+                          "-i", files["document"], "-d", files["dtd"]])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "blank.xq" in err and "empty" in err
+
+    def test_multi_requires_exactly_one_document_source(self, files, query_dir, capsys):
+        assert main(["multi", "-Q", str(query_dir)]) == 2
+        assert "exactly one of --input or --documents" in capsys.readouterr().err
+        assert main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                     "-D", files["document"]]) == 2
+
+
+class TestMultiServeLoop:
+    """`multi --documents`: the serving loop in one process."""
+
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+    @pytest.fixture
+    def documents(self, files):
+        paths = []
+        for index in range(3):
+            path = files["dir"] / f"doc{index}.xml"
+            path.write_text(
+                "<bib><book><title>T%d</title><author>A</author>"
+                "<publisher>P</publisher><price>%d.00</price></book></bib>"
+                % (index, index)
+            )
+            paths.append(str(path))
+        return paths
+
+    @pytest.mark.parametrize("execution", ["threads", "inline", "async"])
+    def test_documents_serve_loop_all_modes(
+        self, files, query_dir, documents, execution, capsys
+    ):
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "--execution", execution])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for index in range(3):
+            assert f"<!-- doc{index}/q3 -->" in captured.out
+            assert f"T{index}" in captured.out
+        assert "[serve] 3 documents" in captured.err
+
+    def test_documents_output_dir_is_per_document(self, files, query_dir, documents):
+        outdir = files["dir"] / "served"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(outdir)])
+        assert exit_code == 0
+        for index in range(3):
+            assert (outdir / f"doc{index}" / "q3.xml").exists()
+
+    def test_documents_json_has_per_pass_metrics(self, files, query_dir, documents):
+        import json
+
+        json_path = files["dir"] / "serve.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-x", "async", "-j", str(json_path)])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["execution"] == "async"
+        assert payload["passes_completed"] == 3
+        assert [entry["label"] for entry in payload["documents"]] == [
+            "doc0", "doc1", "doc2"
+        ]
+        assert set(payload["results"]) == {f"doc{i}/q3" for i in range(3)}
+
+    def test_single_document_loop_keeps_flat_output(self, files, query_dir, capsys):
+        # --documents with one path behaves like --input: no label prefixes.
+        exit_code = main(["multi", "-Q", str(query_dir),
+                          "-D", files["document"], "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "<!-- q3 -->" in captured.out
+        assert "[serve]" not in captured.err
+
 
 class TestCompareCommand:
     def test_compare_prints_tables(self, files, capsys):

@@ -36,8 +36,28 @@ class TestFluxEngine:
         assert compiled.plan.operator_count() > 0
 
     def test_compile_is_cached(self, paper_dtd, paper_q3):
+        # The engine compiles through the shared runtime PlanCache: the
+        # second compile is a cache hit on the same plan entry (the wrapper
+        # object is a cheap per-call view).
         engine = FluxEngine(paper_dtd)
-        assert engine.compile(paper_q3) is engine.compile(paper_q3)
+        assert engine.compile(paper_q3).entry is engine.compile(paper_q3).entry
+        assert engine.plan_cache.stats.misses == 1
+        assert engine.plan_cache.stats.hits == 1
+
+    def test_engine_and_service_share_one_cache(self, paper_dtd, paper_q3):
+        # The tentpole invariant: no private engine-side plan dict — a query
+        # registered with the service is a cache hit for the solo engine.
+        from repro.runtime.plan_cache import PlanCache
+        from repro.service import QueryService
+
+        cache = PlanCache()
+        service = QueryService(paper_dtd, plan_cache=cache)
+        service.register(paper_q3, key="q3")
+        engine = FluxEngine(paper_dtd, plan_cache=cache)
+        compiled = engine.compile(paper_q3)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert compiled.entry is service.registrations["q3"].entry
+        assert not hasattr(engine, "_plan_cache")
 
     def test_compiled_query_is_reusable(self, paper_dtd, paper_document, paper_q3):
         engine = FluxEngine(paper_dtd)

@@ -1,10 +1,13 @@
-"""Plan cache: hits, misses, DTD-fingerprint invalidation, eviction, stats."""
+"""Plan cache: hits, misses, DTD-fingerprint invalidation, eviction, stats.
+
+The cache lives in ``repro.runtime`` and is shared by the FluxEngine and the
+multi-query service; ``repro.service.plan_cache`` re-exports it."""
 
 import pytest
 
 from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.parser import parse_dtd
-from repro.service.plan_cache import NO_DTD_FINGERPRINT, PlanCache, cache_key, dtd_fingerprint
+from repro.runtime.plan_cache import NO_DTD_FINGERPRINT, PlanCache, cache_key, dtd_fingerprint
 from repro.workloads.queries import get_query
 
 from tests.conftest import PAPER_FIGURE1_DTD, PAPER_WEAK_DTD, PAPER_Q3
@@ -39,7 +42,7 @@ class TestDtdFingerprint:
         )
 
     def test_no_dtd_sentinel(self):
-        from repro.service.plan_cache import DEFAULT_PIPELINE_CONFIG
+        from repro.runtime.plan_cache import DEFAULT_PIPELINE_CONFIG
 
         assert dtd_fingerprint(None) == NO_DTD_FINGERPRINT
         assert cache_key("q", None) == ("q", NO_DTD_FINGERPRINT, DEFAULT_PIPELINE_CONFIG)
@@ -139,7 +142,7 @@ class TestPlanCacheConcurrency:
     """Concurrent misses on one key must compile exactly once."""
 
     def _patched(self, monkeypatch, behaviour):
-        import repro.service.plan_cache as plan_cache_module
+        import repro.runtime.plan_cache as plan_cache_module
 
         monkeypatch.setattr(plan_cache_module, "compile_query", behaviour)
 
@@ -147,7 +150,7 @@ class TestPlanCacheConcurrency:
         import threading
         import time
 
-        import repro.service.plan_cache as plan_cache_module
+        import repro.runtime.plan_cache as plan_cache_module
 
         real_compile = plan_cache_module.compile_query
         compiles = []
@@ -179,7 +182,7 @@ class TestPlanCacheConcurrency:
         assert from_cache and cache.stats.hits == 1
 
     def test_follower_receives_leader_error(self, strong_pipeline):
-        from repro.service.plan_cache import _Flight
+        from repro.runtime.plan_cache import _Flight
 
         cache = PlanCache()
         key = cache_key(
@@ -193,7 +196,7 @@ class TestPlanCacheConcurrency:
             cache.get_or_compile(PAPER_Q3, strong_pipeline)
 
     def test_failed_flight_clears_so_later_calls_retry(self, strong_pipeline, monkeypatch):
-        import repro.service.plan_cache as plan_cache_module
+        import repro.runtime.plan_cache as plan_cache_module
 
         real_compile = plan_cache_module.compile_query
         attempts = []

@@ -1,0 +1,211 @@
+"""AsyncQueryService: coroutine ingestion over the inline scheduler.
+
+Correctness bar unchanged: whatever the driver — worker threads, the inline
+round-robin, or coroutines on an event loop — every query's output is
+byte-identical to its solo ``FluxEngine`` run.  These tests drive real
+event loops (``asyncio.run``) over chunked feeds, async document sources,
+and failure paths.
+"""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.engines.flux_engine import FluxEngine
+from repro.errors import PassInProgressError, XMLSyntaxError
+from repro.service import AsyncQueryService, PlanCache, QueryService
+from repro.workloads.bibgen import generate_bibliography
+from repro.workloads.dtds import BIB_DTD_STRONG
+from repro.workloads.queries import get_query, queries_for_workload
+
+from tests.conftest import PAPER_DOCUMENT, PAPER_FIGURE1_DTD, PAPER_Q3
+
+TITLES_QUERY = "<titles>{ for $b in $ROOT/bib/book return $b/title }</titles>"
+
+
+@pytest.fixture(scope="module")
+def bib_document():
+    return generate_bibliography(num_books=25, seed=2004)
+
+
+def solo(query: str, document: str) -> str:
+    return FluxEngine(BIB_DTD_STRONG).execute(query, document).output
+
+
+class TestAsyncPass:
+    def test_run_pass_matches_solo_for_the_catalogue(self, bib_document):
+        specs = queries_for_workload("bib")
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        for spec in specs:
+            service.register(spec.xquery, key=spec.key)
+        results = asyncio.run(service.run_pass(bib_document))
+        for spec in specs:
+            assert results[spec.key].output == solo(spec.xquery, bib_document), spec.key
+
+    @pytest.mark.parametrize("chunk", [1, 57, 4096])
+    def test_chunked_coroutine_feed_matches_solo(self, bib_document, chunk):
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+
+        async def drive():
+            shared_pass = service.open_pass()
+            for start in range(0, len(bib_document), chunk):
+                await shared_pass.feed(bib_document[start : start + chunk])
+            return await shared_pass.finish()
+
+        results = asyncio.run(drive())
+        assert results["t"].output == solo(TITLES_QUERY, bib_document)
+
+    def test_feed_yields_to_the_event_loop(self, bib_document):
+        # A sibling coroutine must get scheduled between chunk feeds —
+        # the whole point of the async front end.
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+        ticks = []
+
+        async def ticker():
+            while True:
+                ticks.append(len(ticks))
+                await asyncio.sleep(0)
+
+        async def drive():
+            tick_task = asyncio.ensure_future(ticker())
+            try:
+                shared_pass = service.open_pass()
+                for start in range(0, len(bib_document), 512):
+                    await shared_pass.feed(bib_document[start : start + 512])
+                return await shared_pass.finish()
+            finally:
+                tick_task.cancel()
+
+        results = asyncio.run(drive())
+        assert results["t"].output == solo(TITLES_QUERY, bib_document)
+        assert len(ticks) >= len(bib_document) // 512
+
+    def test_async_context_manager_finishes_and_aborts(self, bib_document):
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+
+        async def clean():
+            async with service.open_pass() as shared_pass:
+                await shared_pass.feed(bib_document)
+            return await shared_pass.finish()  # idempotent
+
+        results = asyncio.run(clean())
+        assert results["t"].output == solo(TITLES_QUERY, bib_document)
+
+        async def failing():
+            with pytest.raises(RuntimeError):
+                async with service.open_pass() as shared_pass:
+                    await shared_pass.feed("<bib>")
+                    raise RuntimeError("caller failure")
+            assert shared_pass.aborted
+
+        asyncio.run(failing())
+        assert service.service.active_pass is None
+
+    def test_malformed_document_surfaces_and_frees_the_slot(self):
+        service = AsyncQueryService(PAPER_FIGURE1_DTD)
+        service.register(PAPER_Q3, key="q3")
+
+        async def drive():
+            shared_pass = service.open_pass()
+            await shared_pass.feed("<bib><book>")
+            with pytest.raises(XMLSyntaxError):
+                await shared_pass.finish()
+
+        asyncio.run(drive())
+        assert service.service.active_pass is None
+        assert asyncio.run(service.run_pass(PAPER_DOCUMENT))["q3"].output
+
+    def test_one_pass_at_a_time(self):
+        service = AsyncQueryService(PAPER_FIGURE1_DTD)
+        service.register(PAPER_Q3, key="q3")
+
+        async def drive():
+            shared_pass = service.open_pass()
+            with pytest.raises(PassInProgressError):
+                service.open_pass()
+            shared_pass.abort()
+
+        asyncio.run(drive())
+
+
+class TestAsyncServe:
+    def test_serve_over_sync_iterable(self, bib_document):
+        documents = [bib_document, generate_bibliography(num_books=7, seed=7)]
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+
+        async def drive():
+            return [outcome async for outcome in service.serve(documents)]
+
+        served = asyncio.run(drive())
+        assert [outcome.index for outcome in served] == [0, 1]
+        for outcome, document in zip(served, documents):
+            assert outcome.results["t"].output == solo(TITLES_QUERY, document)
+        assert service.metrics.passes_completed == 2
+
+    def test_serve_over_async_iterable_with_churn(self, bib_document):
+        # Documents arrive through an asyncio queue (upload-style) and a
+        # query is registered between passes.
+        q1 = get_query("BIB-Q1").xquery
+        other = generate_bibliography(num_books=9, seed=9)
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+
+        async def sources():
+            for document in [bib_document, other]:
+                yield io.StringIO(document)
+
+        async def drive():
+            served = []
+            async for outcome in service.serve(sources()):
+                served.append(outcome)
+                if outcome.index == 0:
+                    service.register(q1, key="q1")
+            return served
+
+        served = asyncio.run(drive())
+        assert set(served[0].results) == {"t"}
+        assert set(served[1].results) == {"t", "q1"}
+        assert served[1].results["q1"].output == solo(q1, other)
+
+    def test_serve_empty_service_raises(self, bib_document):
+        service = AsyncQueryService(BIB_DTD_STRONG)
+
+        async def drive():
+            async for _ in service.serve([bib_document]):
+                pass
+
+        with pytest.raises(ValueError, match="no queries registered"):
+            asyncio.run(drive())
+
+
+class TestAsyncPlumbing:
+    def test_shares_a_plan_cache_with_sync_services(self):
+        cache = PlanCache()
+        QueryService(BIB_DTD_STRONG, plan_cache=cache).register(TITLES_QUERY)
+        async_service = AsyncQueryService(BIB_DTD_STRONG, plan_cache=cache)
+        registration = async_service.register(TITLES_QUERY)
+        assert registration.from_cache
+        assert cache.stats.hits == 1
+
+    def test_registration_surface_matches_sync(self):
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register_all([TITLES_QUERY])
+        assert len(service) == 1
+        key = next(iter(service.registrations))
+        service.unregister(key)
+        assert len(service) == 0
+        with pytest.raises(KeyError):
+            service.unregister(key)
+
+    def test_stats_summary_is_the_wrapped_services(self, bib_document):
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+        asyncio.run(service.run_pass(bib_document))
+        summary = service.stats_summary()
+        assert summary["passes_completed"] == 1
+        assert summary["plan_cache"]["misses"] == 1
