@@ -17,6 +17,7 @@ Run from the repository root (CI does):  ``python scripts/check_docs_refs.py``.
 
 from __future__ import annotations
 
+import builtins
 import os
 import re
 import sys
@@ -78,6 +79,8 @@ def main() -> int:
             ):
                 failures.append(f"symbol not found under src/: {ref} ({member})")
         elif _CLASS_LIKE.match(ref):
+            if hasattr(builtins, ref):
+                continue  # `ValueError` & co. are the language's, not ours
             checked += 1
             if not re.search(rf"^\s*class\s+{re.escape(ref)}\b", source, re.MULTILINE):
                 failures.append(f"class not found under src/: {ref}")

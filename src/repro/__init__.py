@@ -43,7 +43,13 @@ from repro.errors import (
     XMLValidationError,
     XQuerySyntaxError,
 )
-from repro.service import AsyncQueryService, PlanCache, QueryService
+from repro.service import (
+    AsyncQueryService,
+    AsyncServicePool,
+    PlanCache,
+    QueryService,
+    ServicePool,
+)
 from repro.xquery.parser import parse_xquery
 
 __version__ = "1.1.0"
@@ -58,7 +64,9 @@ __all__ = [
     "OptimizerPipeline",
     "OptimizedQuery",
     "QueryService",
+    "ServicePool",
     "AsyncQueryService",
+    "AsyncServicePool",
     "PlanCache",
     "compile_xquery",
     "parse_xquery",

@@ -24,10 +24,15 @@ Installed as the ``fluxrepro`` console script, or run as a module::
   the events the shared router deems relevant to *it*.  ``--execution``
   picks the driver: per-query worker threads, the round-robin in-thread
   scheduler (``inline``), or the asyncio front end over it (``async``).
-  Results go to ``--output-dir`` (one ``<name>.xml`` per query; one
-  subdirectory per document when serving several) or stdout; per-query
-  statistics and the shared scan's savings are reported on stderr, and
-  ``--json`` dumps them machine-readably.
+  ``--workers N`` upgrades the serve loop to a fault-isolated
+  :class:`~repro.service.ServicePool`: N mirrored services sharing one
+  plan cache shard the document stream, a document that fails mid-pass is
+  reported and skipped (exit status 1) instead of aborting the stream,
+  and results are reported as they complete.  Results go to
+  ``--output-dir`` (one ``<name>.xml`` per query; one subdirectory per
+  document when serving several) or stdout; per-query statistics and the
+  shared scan's savings are reported on stderr, and ``--json`` dumps them
+  machine-readably.
 
 Queries and documents are read from files; ``-`` means stdin.  The DTD can
 be given explicitly with ``--dtd``; otherwise, if the document carries a
@@ -51,7 +56,12 @@ from repro.engines.flux_engine import FluxEngine
 from repro.engines.projection_engine import ProjectionEngine
 from repro.bench.harness import BenchmarkHarness
 from repro.bench.reporting import format_table
-from repro.service import AsyncQueryService, QueryService
+from repro.service import (
+    AsyncQueryService,
+    AsyncServicePool,
+    QueryService,
+    ServicePool,
+)
 from repro.xmlstream.events import StartElement
 from repro.xmlstream.parser import StreamingXMLParser
 
@@ -145,6 +155,38 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+class _StreamingDocument:
+    """A file-like over a path that closes itself at end of file.
+
+    Pool workers hold documents in flight concurrently, so the source
+    generator cannot scope each handle with ``with`` (the block would
+    close it as soon as the shard pulls the *next* document, racing the
+    worker still reading this one).  This reader owns its handle and
+    closes it when the pass has drained it, keeping pooled serving as
+    streaming as the plain loop.
+    """
+
+    def __init__(self, path: str):
+        self._handle = open(path, "r", encoding="utf-8")
+
+    def read(self, size: int = -1) -> str:
+        if self._handle.closed:
+            return ""
+        chunk = self._handle.read(size)
+        if not chunk:
+            self._handle.close()
+        return chunk
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __del__(self):  # aborted pass: the handle still gets released
+        try:
+            self._handle.close()
+        except Exception:
+            pass
+
+
 def _load_multi_queries(queries_dir: str):
     """The ``multi`` query catalogue: ``[(key, xquery text)]`` or an error.
 
@@ -222,6 +264,9 @@ def _command_multi(args: argparse.Namespace) -> int:
     if bool(args.input) == bool(args.documents):
         print("multi: give exactly one of --input or --documents", file=sys.stderr)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print("multi: --workers must be at least 1", file=sys.stderr)
+        return 2
     queries, error = _load_multi_queries(args.queries)
     if error:
         print(error, file=sys.stderr)
@@ -229,6 +274,10 @@ def _command_multi(args: argparse.Namespace) -> int:
     paths = args.documents if args.documents else [args.input]
     labels = _document_labels(paths)
     per_document = len(paths) > 1
+    # Any explicit --workers (1 included) selects the fault-isolated pool;
+    # the default is the plain all-or-nothing serve loop.
+    pooled = args.workers is not None
+    workers = args.workers if pooled else 1
 
     # Unlike `run`, the shared pass never needs a whole document in memory:
     # file inputs are streamed (the prolog of the first one is re-read
@@ -243,54 +292,97 @@ def _command_multi(args: argparse.Namespace) -> int:
             dtd = _load_dtd(None, prolog)
 
     def documents():
-        """One text/handle per served path (handles closed after the pass)."""
+        """One streamed document per served path (handles closed after —
+        or, in pooled mode, at end of — their pass)."""
         for path in paths:
             if path == "-":
                 yield stdin_text
+            elif pooled:
+                yield _StreamingDocument(path)
             else:
                 with open(path, "r", encoding="utf-8") as handle:
                     yield handle
 
     validate = not args.no_validate
     # Each pass is reported (stdout/stderr/files) as soon as it finishes —
-    # a long stream never buffers results, and a mid-stream failure leaves
-    # every completed document's output already delivered.  Only the small
-    # per-pass accounting is retained, for the --json summary.
-    served = []  # (label, PassMetrics, {key: stats dict})
+    # a long stream never buffers results, a mid-stream failure leaves
+    # every completed document's output already delivered, and with a pool
+    # a failing document is reported as an error while the rest of the
+    # stream keeps serving.  Only the small per-pass accounting is
+    # retained, for the --json summary (never the QueryResults themselves:
+    # their outputs can dwarf the documents).
+    served = []  # (label, {outcome/worker/error/metrics}, {key: stats dict})
 
     def report(outcome) -> None:
         label = labels[outcome.index]
+        accounting = {
+            "outcome": outcome.outcome,
+            "worker": outcome.worker,
+            "error": str(outcome.error) if outcome.error is not None else None,
+            "metrics": outcome.metrics,
+        }
+        if not outcome.ok:
+            print(
+                f"[{label}] ERROR: {type(outcome.error).__name__}: {outcome.error}",
+                file=sys.stderr,
+            )
+            served.append((label, accounting, {}))
+            return
         _multi_report_pass(label, outcome.results, outcome.metrics, args, per_document)
         served.append(
             (
                 label,
-                outcome.metrics,
+                accounting,
                 {key: result.stats.as_dict() for key, result in outcome.results.items()},
             )
         )
 
+    # Every mode shares one registration surface and one serve/report
+    # loop; only the service class differs.
+    if args.execution == "async":
+        service = (
+            AsyncServicePool(dtd, workers=workers, validate=validate)
+            if pooled
+            else AsyncQueryService(dtd, validate=validate)
+        )
+    elif pooled:
+        service = ServicePool(
+            dtd, workers=workers, validate=validate, execution=args.execution
+        )
+    else:
+        service = QueryService(dtd, validate=validate, execution=args.execution)
+    for key, text in queries:
+        service.register(text, key=key)
+
     if args.execution == "async":
         import asyncio
-
-        service = AsyncQueryService(dtd, validate=validate)
-        for key, text in queries:
-            service.register(text, key=key)
 
         async def drive():
             async for outcome in service.serve(documents()):
                 report(outcome)
 
         asyncio.run(drive())
-        sync_service = service.service
+        summary_source = service if pooled else service.service
     else:
-        sync_service = QueryService(dtd, validate=validate, execution=args.execution)
-        for key, text in queries:
-            sync_service.register(text, key=key)
-        for outcome in sync_service.serve(documents()):
+        for outcome in service.serve(documents()):
             report(outcome)
+        summary_source = service
 
-    if per_document:
-        totals = sync_service.metrics
+    failures = sum(1 for _, accounting, _ in served if accounting["outcome"] != "ok")
+    if pooled:
+        totals = summary_source.metrics
+        print(
+            f"[pool] {totals.workers} workers, "
+            f"{totals.documents_served} documents "
+            f"({totals.documents_failed} failed), "
+            f"{len(queries)} standing queries, "
+            f"{totals.parser_events_total} parser events total, "
+            f"{totals.events_forwarded_total} forwarded, "
+            f"{totals.events_pruned_total} pruned",
+            file=sys.stderr,
+        )
+    elif per_document:
+        totals = summary_source.metrics
         print(
             f"[serve] {totals.passes_completed} documents, "
             f"{len(queries)} standing queries, "
@@ -300,10 +392,18 @@ def _command_multi(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.json:
-        summary = sync_service.stats_summary()
+        summary = summary_source.stats_summary()
         summary["execution"] = args.execution
+        summary["workers"] = workers
         summary["documents"] = [
-            {"label": label, **metrics.as_dict()} for label, metrics, _ in served
+            {
+                "label": label,
+                "outcome": accounting["outcome"],
+                "worker": accounting["worker"],
+                "error": accounting["error"],
+                **accounting["metrics"].as_dict(),
+            }
+            for label, accounting, _ in served
         ]
         summary["results"] = {
             (f"{label}/{key}" if per_document else key): stats
@@ -312,7 +412,7 @@ def _command_multi(args: argparse.Namespace) -> int:
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
-    return 0
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,6 +477,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-query runtime driver: worker threads (default), the "
         "inline round-robin scheduler on the dispatch thread, or the "
         "asyncio front end over the inline scheduler",
+    )
+    multi_parser.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve with a fault-isolated pool of N mirrored services "
+        "sharing one plan cache: documents are sharded across the workers "
+        "(overlapping ingestion), a failing document is reported and "
+        "skipped instead of aborting the stream, and the exit status is "
+        "nonzero if any document failed (N=1 is a pool of one — still "
+        "fault-isolated; the default is the plain all-or-nothing serve "
+        "loop)",
     )
     multi_parser.set_defaults(handler=_command_multi)
 

@@ -33,6 +33,7 @@ thundering herd of identical registrations pays the optimizer once.
 
 from __future__ import annotations
 
+import copy
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -65,6 +66,21 @@ def cache_key(
 class CacheStats:
     """Hit/miss accounting of one :class:`PlanCache`.
 
+    ``misses`` counts lookups that found no entry and did not share an
+    in-progress compilation.  Through :meth:`PlanCache.get_or_compile` —
+    the only lookup the engine and service layers use — every such miss is
+    exactly one optimizer run (the single-flight leader), so under
+    compile-through use ``misses`` equals compilations paid; bare
+    :meth:`PlanCache.get` probes also count their failures here.  A
+    concurrent ``get_or_compile`` that found no entry but shared a
+    leader's in-progress compilation is ``coalesced`` instead — it got its
+    plan without compiling, exactly like a hit, so lumping it into
+    ``misses`` would under-report ``hit_rate`` precisely in the
+    thundering-herd case the single-flight machinery exists for.
+    Followers of a flight whose compilation *failed* are counted nowhere:
+    they re-raise the leader's error, and a failing cache must not look
+    healthy in ``hit_rate``.
+
     The counters are mutated only while the owning cache holds its lock, so
     reads from other threads see internally consistent values; the object
     itself carries no lock and must not be shared between caches.
@@ -72,20 +88,25 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    #: Lookups that joined another caller's in-progress compilation instead
+    #: of compiling themselves (single-flight followers).
+    coalesced: int = 0
     evictions: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.coalesced
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of lookups served without a compilation (hit or coalesced)."""
+        return (self.hits + self.coalesced) / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "coalesced": self.coalesced,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
@@ -94,12 +115,35 @@ class CacheStats:
 class _Flight:
     """One in-progress compilation shared by concurrent cache misses."""
 
-    __slots__ = ("done", "entry", "error")
+    __slots__ = ("done", "entry", "error", "followers")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.entry: Optional[CompiledQueryPlan] = None
         self.error: Optional[BaseException] = None
+        #: How many callers joined this flight (telemetry for tests; the
+        #: ``coalesced`` stat counts only followers actually served).
+        self.followers = 0
+
+
+def _clone_exception(error: BaseException) -> Optional[BaseException]:
+    """A fresh exception instance equivalent to ``error``, or ``None``.
+
+    Re-raising one exception instance from several follower threads makes
+    their tracebacks stomp each other: every ``raise`` splices new frames
+    onto the *shared* ``__traceback__``.  Each follower therefore gets its
+    own copy (traceback cleared, so only that follower's raise site grows
+    it).  Exotic exception types whose constructors defeat ``copy.copy``
+    return ``None`` — the caller then falls back to the shared instance.
+    """
+    try:
+        clone = copy.copy(error)
+    except Exception:
+        return None
+    if clone is error or type(clone) is not type(error):
+        return None
+    clone.__traceback__ = None
+    return clone
 
 
 class PlanCache:
@@ -179,9 +223,14 @@ class PlanCache:
         followers wait on its flight and share the plan.  ``from_cache``
         reports whether *this* call's plan came without compiling — a hit,
         or a followed flight — so it stays accurate even when the cache is
-        shared and other callers race.  A leader's compilation error
-        propagates to its followers; the flight is cleared, so later calls
-        retry.
+        shared and other callers race.  Stats mirror that split: a leader
+        is the only ``miss`` (one compilation paid); followers are counted
+        ``coalesced``, keeping ``hit_rate`` honest under a thundering herd
+        of identical registrations.  A leader's compilation error
+        propagates to its followers — each follower raises its *own* copy
+        (chained to the leader's original via ``__cause__``) so concurrent
+        tracebacks cannot stomp each other; the flight is cleared, so later
+        calls retry.
         """
         key = cache_key(query, pipeline.dtd, pipeline.config_fingerprint())
         with self._lock:
@@ -190,17 +239,25 @@ class PlanCache:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 return entry, True
-            self.stats.misses += 1
             flight = self._inflight.get(key)
             if flight is None:
                 flight = self._inflight[key] = _Flight()
                 leader = True
+                self.stats.misses += 1
             else:
                 leader = False
+                flight.followers += 1
         if not leader:
             flight.done.wait()
             if flight.error is not None:
-                raise flight.error
+                clone = _clone_exception(flight.error)
+                if clone is None:
+                    raise flight.error
+                raise clone from flight.error
+            # Counted only now, plan in hand: a follower of a *failed*
+            # flight must not inflate hit_rate.
+            with self._lock:
+                self.stats.coalesced += 1
             return flight.entry, True
         try:
             entry = compile_query(query, pipeline=pipeline)

@@ -7,6 +7,12 @@ Public surface:
   or the inline round-robin scheduler (``execution="threads"|"inline"``);
   :meth:`QueryService.serve` is the long-lived loop (one pass per document
   of a stream, registration churn allowed between passes);
+* :class:`ServicePool` / :class:`AsyncServicePool` — the fault-isolated
+  pool: N mirrored worker services sharing one plan cache shard a document
+  stream (threads, or asyncio tasks), yielding per-document results as
+  they complete and isolating failing documents into error-tagged
+  :class:`ServedDocument` outcomes; :class:`PoolMetrics` aggregates the
+  workers' accounting;
 * :class:`AsyncQueryService` / :class:`AsyncSharedPass` — the asyncio
   ingestion front end over the inline scheduler (coroutine ``feed`` /
   ``finish`` / ``serve``);
@@ -37,12 +43,15 @@ from repro.service.dispatcher import (
     SharedDispatcher,
     SharedProjectionIndex,
 )
-from repro.service.metrics import PassMetrics, ServiceMetrics
+from repro.service.metrics import PassMetrics, PoolMetrics, ServiceMetrics
+from repro.service.pool import AsyncServicePool, ServicePool
 from repro.service.service import QueryService, ServedDocument
 from repro.service.session import RegisteredQuery, SharedPass, SHARED_ENGINE_NAME
 
 __all__ = [
     "QueryService",
+    "ServicePool",
+    "AsyncServicePool",
     "AsyncQueryService",
     "AsyncSharedPass",
     "ServedDocument",
@@ -59,5 +68,6 @@ __all__ = [
     "SharedProjectionIndex",
     "ServiceMetrics",
     "PassMetrics",
+    "PoolMetrics",
     "EXECUTION_MODES",
 ]

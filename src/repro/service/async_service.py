@@ -194,8 +194,11 @@ class AsyncQueryService:
     ) -> Dict[str, QueryResult]:
         """Run all registered queries over one document in one shared scan.
 
-        ``document`` is XML text or a (synchronous) file-like object; file
-        reads are chunked, with an ``await`` point per chunk.
+        ``document`` is XML text, a (synchronous) file-like object — reads
+        are chunked, with an ``await`` point per chunk — or an *async
+        iterable of text chunks* (e.g. a connection yielding a document as
+        it arrives), awaited chunk by chunk so slow delivery never blocks
+        the event loop.
         """
         shared_pass = self.open_pass()
         try:
@@ -208,6 +211,10 @@ class AsyncQueryService:
     async def _feed_document(self, shared_pass: AsyncSharedPass, document) -> None:
         if isinstance(document, str):
             await shared_pass.feed(document)
+            return
+        if hasattr(document, "__aiter__"):
+            async for chunk in document:
+                await shared_pass.feed(chunk)
             return
         while True:
             chunk = document.read(_READ_CHUNK)
@@ -222,22 +229,30 @@ class AsyncQueryService:
     ) -> AsyncIterator[ServedDocument]:
         """Async serving loop: one shared pass per document.
 
-        ``documents`` is a plain or *async* iterable of XML texts /
-        file-like objects.  Semantics match
+        ``documents`` is a plain or *async* iterable of documents, each one
+        XML text, a file-like object, or an async iterable of text chunks
+        (see :meth:`run_pass`).  Semantics match
         :meth:`QueryService.serve` — per-document registration snapshots,
-        churn allowed between passes, ``ValueError`` on an empty service,
-        abort-and-propagate on a failing document — with an ``await`` point
-        at least once per fed chunk:
+        churn allowed between passes, ``ValueError`` on an empty service
+        (checked *before* the next document is pulled, so catching it,
+        registering, and re-serving the same source resumes at the document
+        that tripped it), abort-and-propagate on a failing document — with
+        an ``await`` point at least once per fed chunk:
 
         >>> async for served in service.serve(queue):   # doctest: +SKIP
         ...     handle(served.results)
         """
+        iterator = _iter_documents(documents)
         index = 0
-        async for document in _iter_documents(documents):
+        while True:
             if not len(self._service):
                 raise ValueError(
                     f"serve(): no queries registered when document {index} arrived"
                 )
+            try:
+                document = await iterator.__anext__()
+            except StopAsyncIteration:
+                return
             shared_pass = self.open_pass(chunk_size=chunk_size)
             try:
                 await self._feed_document(shared_pass, document)

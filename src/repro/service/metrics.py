@@ -19,16 +19,24 @@ Two layers of counters:
   hit/miss counts live on the cache itself
   (:class:`repro.runtime.plan_cache.CacheStats`) and are merged into
   :meth:`ServiceMetrics.as_dict` by the service.
+* :class:`PoolMetrics` — one :class:`~repro.service.pool.ServicePool`'s
+  view across its workers: the per-worker :class:`ServiceMetrics` folded
+  into fleet totals, plus the pool's own serve-loop accounting (documents
+  delivered vs. fault-isolated failures, by worker).  Built on demand by
+  :meth:`PoolMetrics.aggregate` from a snapshot of the worker metrics, so
+  it carries no live references.
 
-Thread-safety: both dataclasses are plain counters mutated by the single
+Thread-safety: these dataclasses are plain counters mutated by the single
 thread driving the service/pass; they carry no locks.  Read them between
-passes (or after ``finish()``), not while a pass is being fed.
+passes (or after ``finish()``), not while a pass is being fed.  A pool
+snapshots its workers between their passes (each worker is single-driver
+on its own thread).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Mapping, Sequence
 
 
 @dataclass
@@ -111,4 +119,81 @@ class ServiceMetrics:
             "text_events_dropped_total": self.text_events_dropped_total,
             "results_produced": self.results_produced,
             "last_pass": self.last_pass.as_dict(),
+        }
+
+
+@dataclass
+class PoolMetrics:
+    """Aggregated accounting of one :class:`~repro.service.pool.ServicePool`.
+
+    The fleet totals are the sums of the worker services' cumulative
+    :class:`ServiceMetrics`; ``documents_ok`` / ``documents_failed`` are the
+    pool serve loops' own outcome counters (a failed document is one the
+    pool fault-isolated into an error-tagged
+    :class:`~repro.service.service.ServedDocument`; its partial pass never
+    reaches a worker's ``passes_completed``).  ``per_worker`` keeps the
+    breakdown by worker id for shard-balance inspection.
+    """
+
+    workers: int = 0
+    documents_ok: int = 0
+    documents_failed: int = 0
+    passes_completed: int = 0
+    results_produced: int = 0
+    parser_events_total: int = 0
+    events_forwarded_total: int = 0
+    events_pruned_total: int = 0
+    text_events_dropped_total: int = 0
+    per_worker: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def documents_served(self) -> int:
+        """Documents the pool delivered, error-tagged ones included."""
+        return self.documents_ok + self.documents_failed
+
+    @classmethod
+    def aggregate(
+        cls,
+        worker_metrics: Sequence[ServiceMetrics],
+        documents_ok: Mapping[int, int],
+        documents_failed: Mapping[int, int],
+    ) -> "PoolMetrics":
+        """Fold per-worker service metrics and outcome counts into totals."""
+        pool = cls(workers=len(worker_metrics))
+        for worker_id, metrics in enumerate(worker_metrics):
+            ok = documents_ok.get(worker_id, 0)
+            failed = documents_failed.get(worker_id, 0)
+            pool.documents_ok += ok
+            pool.documents_failed += failed
+            pool.passes_completed += metrics.passes_completed
+            pool.results_produced += metrics.results_produced
+            pool.parser_events_total += metrics.parser_events_total
+            pool.events_forwarded_total += metrics.events_forwarded_total
+            pool.events_pruned_total += metrics.events_pruned_total
+            pool.text_events_dropped_total += metrics.text_events_dropped_total
+            pool.per_worker.append(
+                {
+                    "worker": worker_id,
+                    "documents_ok": ok,
+                    "documents_failed": failed,
+                    "passes_completed": metrics.passes_completed,
+                    "results_produced": metrics.results_produced,
+                    "parser_events_total": metrics.parser_events_total,
+                }
+            )
+        return pool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "documents_served": self.documents_served,
+            "documents_ok": self.documents_ok,
+            "documents_failed": self.documents_failed,
+            "passes_completed": self.passes_completed,
+            "results_produced": self.results_produced,
+            "parser_events_total": self.parser_events_total,
+            "events_forwarded_total": self.events_forwarded_total,
+            "events_pruned_total": self.events_pruned_total,
+            "text_events_dropped_total": self.text_events_dropped_total,
+            "per_worker": [dict(entry) for entry in self.per_worker],
         }

@@ -1,0 +1,521 @@
+"""Fault-isolated service pool: N serving loops, one plan cache.
+
+A single :class:`~repro.service.service.QueryService` serves one shared
+pass at a time — the pass owns the parser position and the per-query
+sessions, so overlapping two documents on one service cannot be made safe
+(:class:`~repro.errors.PassInProgressError` makes the constraint explicit).
+:class:`ServicePool` hides it: the pool owns N worker ``QueryService``
+instances that *mirror* each other's registrations and share one
+:class:`~repro.runtime.plan_cache.PlanCache`, so
+
+* **compilation is paid once per distinct query across the whole pool** —
+  the first worker's registration misses and compiles, the remaining
+  mirrors hit (or, registering concurrently, coalesce onto the leader's
+  single-flight compilation; the cache's ``misses`` counter equals
+  optimizer runs either way);
+* **documents overlap**: :meth:`ServicePool.serve` shards the document
+  stream across the workers — each worker thread pulls the next document
+  from the shared source, runs its own pass, and the pool yields
+  :class:`~repro.service.service.ServedDocument` results *as they
+  complete*, tagged with the worker id and the document's source ``index``
+  (completion order is not source order; sort by ``index`` if you need it);
+* **failures are isolated**: a document that fails mid-pass aborts only
+  its own worker's pass and is delivered as an error-tagged
+  ``ServedDocument`` (``outcome == "error"``, the exception on ``error``),
+  while every other document — including later ones on the same worker —
+  is served normally, byte-identical to a solo run.  This fixes the
+  all-or-nothing serving loop: ``QueryService.serve()`` aborts and
+  propagates on the first bad document.
+
+Under CPython's GIL the worker threads interleave rather than parallelize
+CPU-bound evaluation; what the pool buys on one core is *ingestion
+overlap* — while one worker waits on a slow document source (a socket, a
+file tail, an upload), the others keep evaluating.  The S4 benchmark
+(``benchmarks/bench_s4_pool_scaling.py``) measures both regimes honestly.
+
+:class:`AsyncServicePool` is the same architecture for one event loop: N
+:class:`~repro.service.async_service.AsyncQueryService` workers driven by
+coroutine tasks, sharding a plain or async document iterable, each
+document itself optionally an async chunk feed.
+
+Concurrency contract: one serve loop at a time per pool (a second
+``serve`` raises ``RuntimeError``), and registration (``register`` /
+``unregister``) is single-driver *and* rejected while a serve loop is
+running — the workers snapshot registrations when their passes open, and
+mutating N mirrored services under a running loop would tear the mirror.
+Register between loops (or before the first).  The serve loop is
+backpressured: the result queue is bounded to the worker count, so a slow
+consumer pauses the shard instead of buffering an unbounded stream's
+results.  The plan cache below remains fully thread-safe and may be
+shared with further pools, services, and engines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import queue
+import threading
+import time
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.dtd.parser import parse_dtd
+from repro.dtd.schema import DTD
+from repro.runtime.plan_cache import PlanCache
+from repro.service.async_service import AsyncQueryService, _iter_documents
+from repro.service.metrics import PoolMetrics
+from repro.service.service import QueryService, ServedDocument
+from repro.service.session import RegisteredQuery
+
+
+class _PoolBase:
+    """Shared surface of the thread and asyncio pools.
+
+    Holds the worker services, presents one *mirrored* registration
+    surface (every call fans out to all workers under the same key, so
+    each worker's snapshot at pass-open time is identical — while
+    compilation cost does not fan out: all workers compile through one
+    shared plan cache, so the first registration is the only optimizer run
+    and the mirrors are hits/coalesced followers), guards the one-loop-at-
+    a-time invariant, and aggregates the reporting.
+    """
+
+    def __init__(self, dtd: Union[DTD, str, None], workers: int,
+                 plan_cache: Optional[PlanCache], cache_size: int):
+        if workers < 1:
+            raise ValueError("a service pool needs at least one worker")
+        if isinstance(dtd, str):
+            dtd = parse_dtd(dtd)
+        self.dtd = dtd
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
+        self._services: List = []  # filled by the subclass
+        self._counter = 0
+        self._serving = False
+        # Delivered-outcome counters by worker id, cumulative across
+        # loops; updated as results are *yielded* (a result drained away
+        # by a closed loop was never served to anyone).
+        self._documents_ok: Dict[int, int] = {}
+        self._documents_failed: Dict[int, int] = {}
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------- registration
+
+    def _check_mutable(self) -> None:
+        if self._serving:
+            raise RuntimeError(
+                "cannot change pool registrations while a serve loop is "
+                "running; finish (or close) the loop first"
+            )
+
+    def register(self, query: str, key: Optional[str] = None) -> RegisteredQuery:
+        """Register ``query`` on every worker under one ``key``.
+
+        Compiled once through the shared cache; the returned
+        :class:`RegisteredQuery` is worker 0's mirror (all workers share
+        the same compiled plan entry).  Raises ``RuntimeError`` while a
+        serve loop is running.
+        """
+        self._check_mutable()
+        if key is None:
+            self._counter += 1
+            key = f"q{self._counter}"
+        registrations = [
+            service.register(query, key=key) for service in self._services
+        ]
+        return registrations[0]
+
+    def register_all(self, queries: Iterable[str]) -> List[RegisteredQuery]:
+        """Register several queries at once (autogenerated keys)."""
+        return [self.register(query) for query in queries]
+
+    def unregister(self, key: str) -> None:
+        """Remove a standing query from every worker; unknown keys raise
+        ``KeyError``.  Raises ``RuntimeError`` while a serve loop is
+        running."""
+        self._check_mutable()
+        if key not in self._services[0].registrations:
+            raise KeyError(key)
+        for service in self._services:
+            service.unregister(key)
+
+    @property
+    def registrations(self) -> Dict[str, RegisteredQuery]:
+        """The mirrored registrations, by key (worker 0's view)."""
+        return self._services[0].registrations
+
+    def __len__(self) -> int:
+        return len(self._services[0])
+
+    @property
+    def workers(self) -> int:
+        return len(self._services)
+
+    @property
+    def services(self) -> List:
+        """The worker services (read-only by convention; for inspection)."""
+        return list(self._services)
+
+    # -------------------------------------------------- serve-loop guards
+
+    def _begin_serving(self) -> None:
+        if self._serving:
+            raise RuntimeError(
+                "a serve loop is already running on this pool; one shard "
+                "at a time — finish (or close) it before starting another"
+            )
+        if not len(self):
+            raise ValueError("serve(): no queries registered on the pool")
+        self._serving = True
+
+    def _end_serving(self) -> None:
+        self._serving = False
+
+    def _record_outcome(self, worker_id: int, ok: bool) -> None:
+        with self._counter_lock:
+            counters = self._documents_ok if ok else self._documents_failed
+            counters[worker_id] = counters.get(worker_id, 0) + 1
+
+    # ----------------------------------------------------------- reporting
+
+    @property
+    def metrics(self) -> PoolMetrics:
+        """A fresh aggregate of the workers' cumulative metrics."""
+        with self._counter_lock:
+            ok = dict(self._documents_ok)
+            failed = dict(self._documents_failed)
+        return PoolMetrics.aggregate(
+            [service.metrics for service in self._services], ok, failed
+        )
+
+    def stats_summary(self) -> Dict[str, object]:
+        """Pool metrics plus shared plan-cache counters, for logs/benches."""
+        summary = self.metrics.as_dict()
+        summary["plan_cache"] = self.plan_cache.stats.as_dict()
+        summary["plan_cache"]["size"] = len(self.plan_cache)
+        return summary
+
+
+class ServicePool(_PoolBase):
+    """N mirrored :class:`QueryService` workers sharding a document stream.
+
+    Parameters
+    ----------
+    dtd:
+        Schema shared by all workers (a :class:`DTD`, DTD text, or
+        ``None``), parsed once.
+    workers:
+        Pool size — how many documents may be in flight at once.
+    validate / execution:
+        Forwarded to every worker ``QueryService`` (``execution`` picks how
+        each worker drives its per-query runtimes: ``"threads"`` or
+        ``"inline"``; the pool's own sharding threads are separate).
+    plan_cache:
+        An existing cache to share; by default the pool owns one cache of
+        ``cache_size`` plans that all its workers compile through.
+
+    Use :meth:`register` / :meth:`unregister` / :meth:`register_all`
+    between serve loops, then :meth:`serve` to shard a stream.  The pool's
+    cumulative accounting is :attr:`metrics` (a fresh
+    :class:`~repro.service.metrics.PoolMetrics` aggregate per read);
+    :meth:`stats_summary` adds the shared plan-cache counters.
+    """
+
+    def __init__(
+        self,
+        dtd: Union[DTD, str, None] = None,
+        workers: int = 2,
+        validate: bool = True,
+        plan_cache: Optional[PlanCache] = None,
+        cache_size: int = 128,
+        execution: str = "threads",
+    ):
+        super().__init__(dtd, workers, plan_cache, cache_size)
+        self.execution = execution
+        self._services = [
+            QueryService(
+                self.dtd,
+                validate=validate,
+                plan_cache=self.plan_cache,
+                execution=execution,
+            )
+            for _ in range(workers)
+        ]
+
+    def serve(
+        self,
+        documents: Iterable[Union[str, io.TextIOBase]],
+        chunk_size: int = 256,
+    ) -> Iterator[ServedDocument]:
+        """Shard ``documents`` across the workers; yield results as they
+        complete.
+
+        Each worker thread repeatedly pulls the next document from the
+        shared iterator (so a lazy source is consumed on demand) and runs
+        one pass on its own service; the pool yields one
+        :class:`ServedDocument` per document — tagged with ``worker`` and
+        source ``index``, in *completion* order.  The result queue is
+        bounded to the worker count, so a consumer slower than the shard
+        pauses the workers (at most ``2 × workers`` documents are pulled
+        beyond what the consumer has taken) instead of buffering an
+        unbounded stream's results.
+
+        **Fault isolation**: a document whose pass fails (malformed XML,
+        validation, evaluation) is delivered as ``outcome == "error"``
+        with the exception on ``error`` and the failed pass's partial
+        metrics; the worker's pass slot is released by the abort, so the
+        same worker accepts the next document.  Only an error raised by
+        the *source iterator itself* (or a non-``Exception`` like
+        ``KeyboardInterrupt``) propagates and ends the loop.
+
+        Serving an empty pool raises ``ValueError`` before any document is
+        pulled; a second ``serve`` while one is running raises
+        ``RuntimeError``.  Closing the generator early stops the shard
+        (workers finish their in-flight passes, then exit).  Registration
+        changes are rejected while the loop runs.
+        """
+        source = enumerate(documents)  # before the guard: a bad argument
+        self._begin_serving()          # must not lock the pool forever
+        source_lock = threading.Lock()
+        # Bounded: workers block here when the consumer lags (backpressure).
+        output: "queue.Queue" = queue.Queue(maxsize=len(self._services))
+        stop = threading.Event()
+
+        def worker_loop(worker_id: int, service: QueryService) -> None:
+            try:
+                while not stop.is_set():
+                    with source_lock:
+                        try:
+                            index, document = next(source)
+                        except StopIteration:
+                            break
+                        except BaseException as exc:  # the source itself failed
+                            output.put(("fatal", exc))
+                            return
+                    try:
+                        served = self._serve_one(
+                            service, worker_id, index, document, chunk_size
+                        )
+                    except BaseException as exc:  # non-Exception: propagate
+                        output.put(("fatal", exc))
+                        return
+                    output.put(("served", served))
+            finally:
+                output.put(("done", worker_id))
+
+        threads: List[threading.Thread] = []
+        try:
+            for worker_id, service in enumerate(self._services):
+                thread = threading.Thread(
+                    target=worker_loop,
+                    args=(worker_id, service),
+                    name=f"pool-worker-{worker_id}",
+                    daemon=True,
+                )
+                threads.append(thread)
+                thread.start()
+            done = 0
+            while done < len(threads):
+                kind, payload = output.get()
+                if kind == "done":
+                    done += 1
+                elif kind == "served":
+                    # Counted at delivery, not completion: results a closed
+                    # loop drains away were never served to anyone.
+                    self._record_outcome(payload.worker, payload.ok)
+                    yield payload
+                else:  # "fatal"
+                    raise payload
+        finally:
+            stop.set()
+            # Keep draining while workers wind down: one may be blocked on
+            # the bounded queue, and join() before its put() would deadlock.
+            while any(thread.is_alive() for thread in threads):
+                try:
+                    output.get_nowait()
+                except queue.Empty:
+                    time.sleep(0.001)
+            for thread in threads:
+                thread.join()
+            self._end_serving()
+
+    @staticmethod
+    def _serve_one(
+        service: QueryService,
+        worker_id: int,
+        index: int,
+        document: Union[str, io.TextIOBase],
+        chunk_size: int,
+    ) -> ServedDocument:
+        """One worker pass over one document, fault-isolated.
+
+        An ``Exception`` mid-pass aborts that pass (releasing the worker's
+        slot and its per-query sessions) and is folded into an error-tagged
+        :class:`ServedDocument`; anything harsher propagates to the caller.
+        """
+        shared_pass = service.open_pass(chunk_size=chunk_size)
+        try:
+            service._feed_document(shared_pass, document)
+            results = shared_pass.finish()
+        except Exception as exc:
+            shared_pass.abort()
+            # Drop the traceback: its frames pin the document text and the
+            # aborted pass graph for the outcome's lifetime, and a serving
+            # loop may accumulate many error outcomes.
+            exc.__traceback__ = None
+            return ServedDocument(
+                index=index,
+                results={},
+                metrics=shared_pass.metrics,
+                outcome="error",
+                error=exc,
+                worker=worker_id,
+            )
+        except BaseException:
+            shared_pass.abort()
+            raise
+        return ServedDocument(
+            index=index,
+            results=results,
+            metrics=shared_pass.metrics,
+            worker=worker_id,
+        )
+
+
+class AsyncServicePool(_PoolBase):
+    """The service pool on one event loop: N coroutine-driven workers.
+
+    Mirrors :class:`ServicePool` — shared plan cache, mirrored
+    registrations, fault-isolated sharded ``serve`` — with
+    :class:`AsyncQueryService` workers and asyncio tasks instead of
+    threads.  This is cooperative concurrency: CPU-bound evaluation still
+    runs one chunk at a time on the loop's thread, but slow *delivery*
+    (async document sources, per-document async chunk feeds) overlaps
+    across the workers, which is exactly the serving-scenario win.
+
+    ``documents`` may be a plain or async iterable; each document may be
+    XML text, a synchronous file-like object, or an async iterable of text
+    chunks (a connection).  All methods must be called from the event
+    loop's thread; ``register``/``unregister`` between serve loops only.
+    """
+
+    def __init__(
+        self,
+        dtd: Union[DTD, str, None] = None,
+        workers: int = 2,
+        validate: bool = True,
+        plan_cache: Optional[PlanCache] = None,
+        cache_size: int = 128,
+    ):
+        super().__init__(dtd, workers, plan_cache, cache_size)
+        self._services = [
+            AsyncQueryService(self.dtd, validate=validate, plan_cache=self.plan_cache)
+            for _ in range(workers)
+        ]
+
+    async def serve(self, documents, chunk_size: int = 256):
+        """Shard a (plain or async) document iterable across the workers.
+
+        The async rendering of :meth:`ServicePool.serve`, with the same
+        contract: results yielded as they complete, tagged with ``worker``
+        and source ``index``; a failing document fault-isolated into an
+        error-tagged :class:`ServedDocument`; an error from the source
+        itself propagating; a bounded result queue pausing the workers
+        when the consumer lags; one loop at a time (``RuntimeError``).
+        """
+        self._begin_serving()
+        source = _iter_documents(documents)
+        source_lock = asyncio.Lock()
+        output: "asyncio.Queue" = asyncio.Queue(maxsize=len(self._services))
+        next_index = [0]
+
+        async def worker_loop(worker_id: int, service: AsyncQueryService) -> None:
+            # Protocol: ("served", ...) per document, then exactly one
+            # terminal message — "done" (source exhausted) or "fatal"
+            # (source error / non-Exception from a pass).  A cancelled
+            # worker sends nothing: the consumer is gone, and awaiting the
+            # bounded queue during cancellation would deadlock the
+            # shutdown gather.
+            terminal = ("done", worker_id)
+            while True:
+                async with source_lock:
+                    try:
+                        document = await source.__anext__()
+                    except StopAsyncIteration:
+                        break
+                    except asyncio.CancelledError:
+                        raise
+                    except BaseException as exc:  # the source failed
+                        terminal = ("fatal", exc)
+                        break
+                    index = next_index[0]
+                    next_index[0] += 1
+                try:
+                    served = await self._serve_one(
+                        service, worker_id, index, document, chunk_size
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except BaseException as exc:  # non-Exception from a pass
+                    terminal = ("fatal", exc)
+                    break
+                await output.put(("served", served))
+            await output.put(terminal)
+
+        tasks: List["asyncio.Task"] = []
+        try:
+            tasks = [
+                asyncio.ensure_future(worker_loop(worker_id, service))
+                for worker_id, service in enumerate(self._services)
+            ]
+            done = 0
+            while done < len(tasks):
+                kind, payload = await output.get()
+                if kind == "done":
+                    done += 1
+                elif kind == "served":
+                    # Counted at delivery, like the thread pool.
+                    self._record_outcome(payload.worker, payload.ok)
+                    yield payload
+                else:  # "fatal"
+                    raise payload
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self._end_serving()
+
+    @staticmethod
+    async def _serve_one(
+        service: AsyncQueryService,
+        worker_id: int,
+        index: int,
+        document,
+        chunk_size: int,
+    ) -> ServedDocument:
+        shared_pass = service.open_pass(chunk_size=chunk_size)
+        try:
+            await service._feed_document(shared_pass, document)
+            results = await shared_pass.finish()
+        except Exception as exc:
+            shared_pass.abort()
+            # Drop the traceback: its frames pin the document text and the
+            # aborted pass graph for the outcome's lifetime, and a serving
+            # loop may accumulate many error outcomes.
+            exc.__traceback__ = None
+            return ServedDocument(
+                index=index,
+                results={},
+                metrics=shared_pass.metrics,
+                outcome="error",
+                error=exc,
+                worker=worker_id,
+            )
+        except BaseException:
+            shared_pass.abort()
+            raise
+        return ServedDocument(
+            index=index,
+            results=results,
+            metrics=shared_pass.metrics,
+            worker=worker_id,
+        )

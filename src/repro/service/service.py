@@ -62,17 +62,37 @@ _READ_CHUNK = 1 << 16
 
 @dataclass
 class ServedDocument:
-    """One document's outcome inside a :meth:`QueryService.serve` loop.
+    """One document's outcome inside a serving loop.
 
     ``index`` is the document's position in the served sequence, ``results``
     maps registration keys to byte-identical-to-solo query results, and
     ``metrics`` is the pass's own accounting (the cumulative totals live on
     :attr:`QueryService.metrics`).
+
+    A :class:`~repro.service.pool.ServicePool` adds two tags: ``worker`` is
+    the pool worker that served the document (``None`` when served by a
+    plain :meth:`QueryService.serve` loop), and a document that failed
+    mid-pass is *fault-isolated* — delivered with ``outcome == "error"``,
+    the exception on ``error``, empty ``results``, and the failed pass's
+    partial ``metrics`` — instead of exhausting the whole loop.
+    :meth:`QueryService.serve` itself never yields error outcomes; it
+    aborts and propagates, as documented there.
     """
 
     index: int
     results: Dict[str, QueryResult]
     metrics: PassMetrics
+    #: ``"ok"`` or ``"error"`` (the latter only from a pool's serve loop).
+    outcome: str = "ok"
+    #: The exception that aborted this document's pass, when ``outcome``
+    #: is ``"error"``.
+    error: Optional[BaseException] = None
+    #: Pool worker id that served the document; ``None`` outside a pool.
+    worker: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
 
 
 class QueryService:
@@ -279,19 +299,31 @@ class QueryService:
         >>> service.register(new_query, key="extra")   # doctest: +SKIP
         >>> second = next(loop)                        # includes "extra"
 
-        Serving an empty service raises ``ValueError`` at the offending
-        document (a pass needs at least one plan).  A document that fails
+        Serving an empty service raises ``ValueError`` — checked *before*
+        the next document is pulled from the iterator, so the offending
+        document is not silently consumed: a caller that catches the error,
+        registers a query, and re-``serve``s the same iterator resumes at
+        exactly the document that tripped it.  (The check runs at every
+        step, so a service emptied mid-loop fails at the next step even if
+        the stream happens to be exhausted.)  A document that fails
         mid-pass aborts that pass (releasing its slot and workers) and
         propagates the error; the generator is then exhausted — decide in
-        the caller whether to re-``serve`` the remaining documents.
-        Single-driver like everything on the service: drive the generator
-        from one thread.
+        the caller whether to re-``serve`` the remaining documents, or use
+        a :class:`~repro.service.pool.ServicePool`, whose serving loop
+        isolates the failure instead.  Single-driver like everything on the
+        service: drive the generator from one thread.
         """
-        for index, document in enumerate(documents):
+        iterator = iter(documents)
+        index = 0
+        while True:
             if not self._registrations:
                 raise ValueError(
                     f"serve(): no queries registered when document {index} arrived"
                 )
+            try:
+                document = next(iterator)
+            except StopIteration:
+                return
             shared_pass = self.open_pass(chunk_size=chunk_size)
             try:
                 self._feed_document(shared_pass, document)
@@ -302,6 +334,7 @@ class QueryService:
             yield ServedDocument(
                 index=index, results=results, metrics=shared_pass.metrics
             )
+            index += 1
 
     # ----------------------------------------------------------- reporting
 

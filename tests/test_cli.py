@@ -209,6 +209,108 @@ class TestMultiServeLoop:
         assert "[serve]" not in captured.err
 
 
+class TestMultiPool:
+    """`multi --workers N`: the fault-isolated service pool."""
+
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+    @pytest.fixture
+    def documents(self, files):
+        paths = []
+        for index in range(4):
+            path = files["dir"] / f"doc{index}.xml"
+            path.write_text(
+                "<bib><book><title>T%d</title><author>A</author>"
+                "<publisher>P</publisher><price>%d.00</price></book></bib>"
+                % (index, index)
+            )
+            paths.append(str(path))
+        return paths
+
+    @pytest.mark.parametrize("execution", ["threads", "inline", "async"])
+    def test_pool_serves_all_documents(
+        self, files, query_dir, documents, execution, capsys
+    ):
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "--workers", "2",
+                          "--execution", execution])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for index in range(4):
+            assert f"<!-- doc{index}/q3 -->" in captured.out
+            assert f"T{index}" in captured.out
+        assert "[pool] 2 workers, 4 documents (0 failed)" in captured.err
+
+    def test_pool_isolates_a_failing_document(
+        self, files, query_dir, documents, capsys
+    ):
+        bad = files["dir"] / "broken.xml"
+        bad.write_text("<bib><book>")
+        stream = documents[:2] + [str(bad)] + documents[2:]
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *stream,
+                          "-d", files["dtd"], "--workers", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 1  # a failed document makes the exit nonzero
+        for index in range(4):
+            assert f"T{index}" in captured.out  # every good document served
+        assert "[broken] ERROR: XMLSyntaxError" in captured.err
+        assert "(1 failed)" in captured.err
+
+    def test_pool_json_tags_outcome_and_worker(
+        self, files, query_dir, documents
+    ):
+        import json
+
+        bad = files["dir"] / "broken.xml"
+        bad.write_text("<bib><book>")
+        json_path = files["dir"] / "pool.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D",
+                          documents[0], str(bad), documents[1],
+                          "-d", files["dtd"], "--workers", "2",
+                          "-j", str(json_path)])
+        assert exit_code == 1
+        payload = json.loads(json_path.read_text())
+        assert payload["workers"] == 2
+        assert payload["documents_failed"] == 1
+        by_label = {entry["label"]: entry for entry in payload["documents"]}
+        assert by_label["broken"]["outcome"] == "error"
+        assert by_label["broken"]["error"]  # the exception's message
+        assert by_label["doc0"]["outcome"] == "ok"
+        assert by_label["doc0"]["error"] is None
+        assert by_label["doc0"]["worker"] in (0, 1)
+        # Failed documents contribute no results.
+        assert set(payload["results"]) == {"doc0/q3", "doc1/q3"}
+        # The shared cache compiled the fleet's one query exactly once.
+        assert payload["plan_cache"]["misses"] == 1
+
+    def test_explicit_workers_one_is_still_a_pool(
+        self, files, query_dir, documents, capsys
+    ):
+        # --workers 1 buys fault isolation (a pool of one), unlike the
+        # default all-or-nothing serve loop.
+        bad = files["dir"] / "broken.xml"
+        bad.write_text("<bib><book>")
+        exit_code = main(["multi", "-Q", str(query_dir), "-D",
+                          documents[0], str(bad), documents[1],
+                          "-d", files["dtd"], "--workers", "1"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "[broken] ERROR: XMLSyntaxError" in captured.err
+        assert "T0" in captured.out and "T1" in captured.out
+        assert "[pool] 1 workers" in captured.err
+
+    def test_workers_must_be_positive(self, files, query_dir, capsys):
+        exit_code = main(["multi", "-Q", str(query_dir),
+                          "-i", files["document"], "--workers", "0"])
+        assert exit_code == 2
+        assert "--workers" in capsys.readouterr().err
+
+
 class TestCompareCommand:
     def test_compare_prints_tables(self, files, capsys):
         exit_code = main(["compare", "-q", files["query"], "-i", files["document"],

@@ -176,10 +176,14 @@ class TestPlanCacheConcurrency:
         assert len({id(entry) for entry, _ in results}) == 1
         # Exactly the leader reports a fresh compilation.
         assert sum(1 for _, from_cache in results if not from_cache) == 1
-        # Every concurrent miss was a miss; only later lookups hit.
-        assert cache.stats.misses == 8
+        # One compilation paid (the leader's miss); everyone else either
+        # coalesced onto the flight or hit the freshly-inserted entry.
+        assert cache.stats.misses == 1
+        assert cache.stats.coalesced + cache.stats.hits == 7
+        # hit_rate reflects that 7 of 8 callers never compiled.
+        assert cache.stats.hit_rate == pytest.approx(7 / 8)
         entry, from_cache = cache.get_or_compile(PAPER_Q3, strong_pipeline)
-        assert from_cache and cache.stats.hits == 1
+        assert from_cache and cache.stats.hits >= 1
 
     def test_follower_receives_leader_error(self, strong_pipeline):
         from repro.runtime.plan_cache import _Flight
@@ -192,8 +196,114 @@ class TestPlanCacheConcurrency:
         flight.error = RuntimeError("injected compile failure")
         flight.done.set()
         cache._inflight[key] = flight
-        with pytest.raises(RuntimeError, match="injected compile failure"):
+        with pytest.raises(RuntimeError, match="injected compile failure") as excinfo:
             cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        # The follower raised its own copy, chained to the leader's original.
+        assert excinfo.value is not flight.error
+        assert excinfo.value.__cause__ is flight.error
+
+    def test_concurrent_followers_get_distinct_errors_with_intact_tracebacks(
+        self, strong_pipeline, monkeypatch
+    ):
+        """Each follower's re-raise must not stomp the other followers'.
+
+        With one shared exception instance, every follower's ``raise``
+        splices frames onto the same ``__traceback__``; here each follower
+        must observe exactly its own raise site.
+        """
+        import threading
+        import time
+        import traceback
+
+        leader_error = ValueError("injected compile failure")
+
+        def failing_compile(query, pipeline=None):
+            time.sleep(0.05)  # keep the flight open while followers join
+            raise leader_error
+
+        self._patched(monkeypatch, failing_compile)
+        cache = PlanCache()
+        barrier = threading.Barrier(4)
+        caught = []
+        caught_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            try:
+                cache.get_or_compile(PAPER_Q3, strong_pipeline)
+            except ValueError as exc:
+                with caught_lock:
+                    caught.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(caught) == 4
+        # No caller was served: the leader is the one (failed) miss, and
+        # followers of a failed flight must not inflate hit_rate.
+        assert cache.stats.misses == 1
+        assert cache.stats.coalesced == 0
+        assert cache.stats.hit_rate == 0.0
+        followers = [exc for exc in caught if exc is not leader_error]
+        assert len(followers) == 3
+        # Distinct instances per follower, all chained to the leader's.
+        assert len({id(exc) for exc in followers}) == 3
+        for exc in followers:
+            assert exc.__cause__ is leader_error
+            assert str(exc) == "injected compile failure"
+            frames = traceback.extract_tb(exc.__traceback__)
+            # Intact: exactly one raise site (get_or_compile), no frames
+            # spliced in by the other followers' re-raises.
+            assert [f.name for f in frames].count("get_or_compile") == 1
+            assert frames[0].name == "worker"
+
+    def test_followers_count_as_coalesced_not_misses(self, strong_pipeline, monkeypatch):
+        import threading
+        import time
+
+        import repro.runtime.plan_cache as plan_cache_module
+
+        real_compile = plan_cache_module.compile_query
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_compile(query, pipeline=None):
+            started.set()
+            release.wait(5)
+            return real_compile(query, pipeline=pipeline)
+
+        self._patched(monkeypatch, gated_compile)
+        cache = PlanCache()
+        results = []
+
+        def call():
+            results.append(cache.get_or_compile(PAPER_Q3, strong_pipeline))
+
+        leader = threading.Thread(target=call)
+        leader.start()
+        assert started.wait(5)
+        followers = [threading.Thread(target=call) for _ in range(3)]
+        for thread in followers:
+            thread.start()
+        # Wait until all three followers joined the flight, then release
+        # the leader.
+        (flight,) = cache._inflight.values()
+        deadline = time.time() + 5
+        while flight.followers < 3 and time.time() < deadline:
+            time.sleep(0.001)
+        release.set()
+        leader.join()
+        for thread in followers:
+            thread.join()
+        stats = cache.stats.as_dict()
+        assert stats["misses"] == 1
+        assert stats["coalesced"] == 3
+        assert stats["hits"] == 0
+        assert stats["hit_rate"] == pytest.approx(3 / 4)
+        # Followers still report from_cache=True: they did not compile.
+        assert sum(1 for _, from_cache in results if not from_cache) == 1
 
     def test_failed_flight_clears_so_later_calls_retry(self, strong_pipeline, monkeypatch):
         import repro.runtime.plan_cache as plan_cache_module

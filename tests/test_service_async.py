@@ -182,6 +182,42 @@ class TestAsyncServe:
         with pytest.raises(ValueError, match="no queries registered"):
             asyncio.run(drive())
 
+    def test_empty_service_error_does_not_consume_a_document(self, bib_document):
+        # Catch, register, re-serve the same iterator: nothing was lost.
+        documents = [bib_document, generate_bibliography(num_books=7, seed=7)]
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        iterator = iter(documents)
+
+        async def drive():
+            served = []
+            try:
+                async for outcome in service.serve(iterator):
+                    served.append(outcome)
+            except ValueError:
+                service.register(TITLES_QUERY, key="t")
+                async for outcome in service.serve(iterator):
+                    served.append(outcome)
+            return served
+
+        served = asyncio.run(drive())
+        assert len(served) == len(documents)
+        for outcome, document in zip(served, documents):
+            assert outcome.results["t"].output == solo(TITLES_QUERY, document)
+
+    def test_run_pass_over_async_chunk_feed(self, bib_document):
+        # A document delivered as an async iterable of chunks (e.g. a
+        # connection) feeds with an await point per chunk.
+        service = AsyncQueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+
+        async def feed():
+            for start in range(0, len(bib_document), 1024):
+                await asyncio.sleep(0)
+                yield bib_document[start : start + 1024]
+
+        results = asyncio.run(service.run_pass(feed()))
+        assert results["t"].output == solo(TITLES_QUERY, bib_document)
+
 
 class TestAsyncPlumbing:
     def test_shares_a_plan_cache_with_sync_services(self):

@@ -84,6 +84,31 @@ class TestServeLoop:
         with pytest.raises(ValueError, match="no queries registered"):
             list(service.serve(documents))
 
+    def test_empty_service_error_does_not_consume_a_document(self, documents):
+        """Catch the ValueError, register, re-serve the same iterator: no
+        document may have been silently lost to the failed attempt."""
+        service = QueryService(BIB_DTD_STRONG)
+        iterator = iter(documents)
+        with pytest.raises(ValueError, match="no queries registered"):
+            next(service.serve(iterator))
+        service.register(TITLES_QUERY, key="t")
+        served = list(service.serve(iterator))
+        assert len(served) == len(documents)  # document 0 was not consumed
+        for outcome, document in zip(served, documents):
+            assert outcome.results["t"].output == solo(TITLES_QUERY, document)
+
+    def test_emptied_service_fails_before_pulling_the_next_document(self, documents):
+        service = QueryService(BIB_DTD_STRONG)
+        service.register(TITLES_QUERY, key="t")
+        iterator = iter(documents)
+        loop = service.serve(iterator)
+        next(loop)
+        service.unregister("t")
+        with pytest.raises(ValueError, match="document 1"):
+            next(loop)
+        # The offending document is still on the iterator.
+        assert next(iterator) == documents[1]
+
     def test_failing_document_aborts_and_frees_the_slot(self, documents):
         service = QueryService(PAPER_FIGURE1_DTD)
         service.register(PAPER_Q3, key="q3")
