@@ -39,6 +39,7 @@ from repro.errors import (
     ReproError,
     UnsafeFluxQueryError,
     UnsupportedFeatureError,
+    WorkerCrashError,
     XMLSyntaxError,
     XMLValidationError,
     XQuerySyntaxError,
@@ -46,7 +47,9 @@ from repro.errors import (
 from repro.service import (
     AsyncQueryService,
     AsyncServicePool,
+    FileDocument,
     PlanCache,
+    ProcessServicePool,
     QueryService,
     ServicePool,
 )
@@ -65,9 +68,12 @@ __all__ = [
     "OptimizedQuery",
     "QueryService",
     "ServicePool",
+    "ProcessServicePool",
+    "FileDocument",
     "AsyncQueryService",
     "AsyncServicePool",
     "PlanCache",
+    "WorkerCrashError",
     "compile_xquery",
     "parse_xquery",
     "parse_dtd",

@@ -1,0 +1,66 @@
+"""Document feed fixtures shared by the serving benchmarks and tests.
+
+The service benchmarks model two delivery regimes:
+
+* **latency-bound** — documents arrive as chunked feeds with per-chunk
+  transport latency (an upload, a socket).  :class:`LatencyFeed` is the
+  file-like rendering for in-process consumers (``time.sleep`` releases
+  the GIL exactly like a blocking socket read, so other pool workers keep
+  evaluating);
+* the same feed for a **process pool** must not be drained in the parent
+  (that would serialize delivery on the dispatch loop), so
+  :class:`LatencyFeedSource` ships the *recipe* — text, chunking, latency
+  — and the worker process materializes its own :class:`LatencyFeed`,
+  keeping delivery overlapped across workers in both backends.
+
+Both are deliberately deterministic: same text, same chunking, same
+latency schedule, so thread/process comparisons measure the backends, not
+the fixtures.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+
+from repro.service.process_pool import DocumentSource
+
+
+class LatencyFeed(io.TextIOBase):
+    """A document arriving over a slow transport, as a file-like object.
+
+    ``read()`` returns the next chunk after ``latency`` seconds.  Works
+    anywhere the service layer accepts a file-like document.
+    """
+
+    def __init__(self, text: str, chunks: int = 10, latency: float = 0.015):
+        step = max(1, (len(text) + chunks - 1) // chunks)
+        self._parts = [text[i : i + step] for i in range(0, len(text), step)]
+        self._latency = latency
+        self._next = 0
+
+    def read(self, size: int = -1) -> str:  # size ignored: chunked source
+        if self._next >= len(self._parts):
+            return ""
+        time.sleep(self._latency)
+        part = self._parts[self._next]
+        self._next += 1
+        return part
+
+
+class LatencyFeedSource(DocumentSource):
+    """The picklable recipe of a :class:`LatencyFeed`.
+
+    Shipped to a :class:`~repro.service.process_pool.ProcessServicePool`
+    worker, which materializes (and pays the delivery latency of) the feed
+    itself — the process-backend counterpart of handing a
+    :class:`LatencyFeed` to a thread pool.
+    """
+
+    def __init__(self, text: str, chunks: int = 10, latency: float = 0.015):
+        self.text = text
+        self.chunks = chunks
+        self.latency = latency
+
+    def open(self) -> LatencyFeed:
+        return LatencyFeed(self.text, chunks=self.chunks, latency=self.latency)

@@ -28,7 +28,15 @@ Installed as the ``fluxrepro`` console script, or run as a module::
   :class:`~repro.service.ServicePool`: N mirrored services sharing one
   plan cache shard the document stream, a document that fails mid-pass is
   reported and skipped (exit status 1) instead of aborting the stream,
-  and results are reported as they complete.  Results go to
+  and results are reported as they complete.  ``--backend processes``
+  moves the pool workers into separate *processes*
+  (:class:`~repro.service.ProcessServicePool`): the parent compiles each
+  query once and ships the pickled plan to every worker, evaluation
+  parallelizes across cores instead of interleaving under the GIL, and a
+  crashed worker process is respawned with its in-flight document
+  reported as an error.  ``--plan-cache-file PATH`` warm-starts the plan
+  cache from a previous run's snapshot (and saves an updated snapshot on
+  exit), so a restarted service skips cold compilation.  Results go to
   ``--output-dir`` (one ``<name>.xml`` per query; one subdirectory per
   document when serving several) or stdout; per-query statistics and the
   shared scan's savings are reported on stderr, and ``--json`` dumps them
@@ -56,9 +64,12 @@ from repro.engines.flux_engine import FluxEngine
 from repro.engines.projection_engine import ProjectionEngine
 from repro.bench.harness import BenchmarkHarness
 from repro.bench.reporting import format_table
+from repro.runtime.plan_cache import PlanCache
 from repro.service import (
     AsyncQueryService,
     AsyncServicePool,
+    FileDocument,
+    ProcessServicePool,
     QueryService,
     ServicePool,
 )
@@ -267,6 +278,23 @@ def _command_multi(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         print("multi: --workers must be at least 1", file=sys.stderr)
         return 2
+    if args.backend == "processes" and args.workers is None:
+        print("multi: --backend processes requires --workers N", file=sys.stderr)
+        return 2
+    # The per-query driver *inside* each serving pass.  Unset means the
+    # backend's own default: worker threads in-process, but "inline" inside
+    # process-pool workers — there per-query threads buy no overlap, only
+    # handoff cost on top of the process parallelism.
+    if args.execution is None:
+        args.execution = "inline" if args.backend == "processes" else "threads"
+    if args.backend == "processes" and args.execution == "async":
+        print(
+            "multi: --backend processes drives workers with the inline or "
+            "threads scheduler; --execution async is the asyncio front end "
+            "of the in-process backend",
+            file=sys.stderr,
+        )
+        return 2
     queries, error = _load_multi_queries(args.queries)
     if error:
         print(error, file=sys.stderr)
@@ -278,6 +306,23 @@ def _command_multi(args: argparse.Namespace) -> int:
     # the default is the plain all-or-nothing serve loop.
     pooled = args.workers is not None
     workers = args.workers if pooled else 1
+
+    # --plan-cache-file: warm-start compilation from a previous run's
+    # snapshot; an updated snapshot is saved after serving.
+    plan_cache = None
+    if args.plan_cache_file:
+        plan_cache = PlanCache()
+        if os.path.exists(args.plan_cache_file):
+            try:
+                preloaded = plan_cache.load(args.plan_cache_file)
+            except ValueError as exc:
+                print(f"multi: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"[plan-cache] warm start: {preloaded} plans loaded from "
+                f"{args.plan_cache_file}",
+                file=sys.stderr,
+            )
 
     # Unlike `run`, the shared pass never needs a whole document in memory:
     # file inputs are streamed (the prolog of the first one is re-read
@@ -293,10 +338,14 @@ def _command_multi(args: argparse.Namespace) -> int:
 
     def documents():
         """One streamed document per served path (handles closed after —
-        or, in pooled mode, at end of — their pass)."""
+        or, in pooled mode, at end of — their pass).  With the process
+        backend, file paths ship as :class:`FileDocument` recipes so the
+        worker that serves a document also reads it."""
         for path in paths:
             if path == "-":
                 yield stdin_text
+            elif args.backend == "processes":
+                yield FileDocument(path)
             elif pooled:
                 yield _StreamingDocument(path)
             else:
@@ -341,44 +390,74 @@ def _command_multi(args: argparse.Namespace) -> int:
     # loop; only the service class differs.
     if args.execution == "async":
         service = (
-            AsyncServicePool(dtd, workers=workers, validate=validate)
+            AsyncServicePool(dtd, workers=workers, validate=validate,
+                             plan_cache=plan_cache)
             if pooled
-            else AsyncQueryService(dtd, validate=validate)
+            else AsyncQueryService(dtd, validate=validate, plan_cache=plan_cache)
+        )
+    elif args.backend == "processes":
+        service = ProcessServicePool(
+            dtd,
+            workers=workers,
+            validate=validate,
+            execution=args.execution,
+            plan_cache=plan_cache,
         )
     elif pooled:
         service = ServicePool(
-            dtd, workers=workers, validate=validate, execution=args.execution
+            dtd, workers=workers, validate=validate, execution=args.execution,
+            plan_cache=plan_cache,
         )
     else:
-        service = QueryService(dtd, validate=validate, execution=args.execution)
+        service = QueryService(dtd, validate=validate, execution=args.execution,
+                               plan_cache=plan_cache)
     for key, text in queries:
         service.register(text, key=key)
 
-    if args.execution == "async":
-        import asyncio
+    try:
+        if args.execution == "async":
+            import asyncio
 
-        async def drive():
-            async for outcome in service.serve(documents()):
+            async def drive():
+                async for outcome in service.serve(documents()):
+                    report(outcome)
+
+            asyncio.run(drive())
+            summary_source = service if pooled else service.service
+        else:
+            for outcome in service.serve(documents()):
                 report(outcome)
+            summary_source = service
+    finally:
+        if args.backend == "processes":
+            service.close()
 
-        asyncio.run(drive())
-        summary_source = service if pooled else service.service
-    else:
-        for outcome in service.serve(documents()):
-            report(outcome)
-        summary_source = service
+    if args.plan_cache_file:
+        saved = summary_source.plan_cache.dump(args.plan_cache_file)
+        print(
+            f"[plan-cache] snapshot saved: {saved} plans to "
+            f"{args.plan_cache_file}",
+            file=sys.stderr,
+        )
 
     failures = sum(1 for _, accounting, _ in served if accounting["outcome"] != "ok")
     if pooled:
         totals = summary_source.metrics
+        shipping = (
+            f", {totals.ship_count} plans shipped ({totals.ship_bytes} B)"
+            if totals.ship_count
+            else ""
+        )
         print(
-            f"[pool] {totals.workers} workers, "
+            f"[pool] {totals.workers} workers "
+            f"({'async' if args.execution == 'async' else args.backend}), "
             f"{totals.documents_served} documents "
             f"({totals.documents_failed} failed), "
             f"{len(queries)} standing queries, "
             f"{totals.parser_events_total} parser events total, "
             f"{totals.events_forwarded_total} forwarded, "
-            f"{totals.events_pruned_total} pruned",
+            f"{totals.events_pruned_total} pruned"
+            f"{shipping}",
             file=sys.stderr,
         )
     elif per_document:
@@ -394,6 +473,7 @@ def _command_multi(args: argparse.Namespace) -> int:
     if args.json:
         summary = summary_source.stats_summary()
         summary["execution"] = args.execution
+        summary["backend"] = args.backend
         summary["workers"] = workers
         summary["documents"] = [
             {
@@ -473,8 +553,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--execution",
         "-x",
         choices=["threads", "inline", "async"],
-        default="threads",
-        help="per-query runtime driver: worker threads (default), the "
+        default=None,
+        help="per-query runtime driver: worker threads (the default, "
+        "except inside --backend processes workers, where inline is the "
+        "default — per-query threads there only add handoff cost), the "
         "inline round-robin scheduler on the dispatch thread, or the "
         "asyncio front end over the inline scheduler",
     )
@@ -491,6 +573,27 @@ def build_parser() -> argparse.ArgumentParser:
         "nonzero if any document failed (N=1 is a pool of one — still "
         "fault-isolated; the default is the plain all-or-nothing serve "
         "loop)",
+    )
+    multi_parser.add_argument(
+        "--backend",
+        "-b",
+        choices=["threads", "processes"],
+        default="threads",
+        help="where the pool workers run: threads in this process "
+        "(default; overlapping ingestion, evaluation interleaved under "
+        "the GIL) or separate worker processes (each query compiled once "
+        "in the parent and shipped as a pickled plan; evaluation runs in "
+        "parallel on separate cores, and a crashed worker is respawned "
+        "with its document reported as an error); requires --workers",
+    )
+    multi_parser.add_argument(
+        "--plan-cache-file",
+        "-p",
+        metavar="PATH",
+        help="warm-start the plan cache from PATH when it exists and save "
+        "an updated snapshot there after serving, so a restarted service "
+        "skips cold compilation (keys are stable (query, DTD fingerprint) "
+        "pairs, valid across processes and restarts)",
     )
     multi_parser.set_defaults(handler=_command_multi)
 

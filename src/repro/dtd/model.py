@@ -32,9 +32,29 @@ INFINITY = float("inf")
 
 
 class ContentParticle:
-    """Base class for content-model nodes."""
+    """Base class for content-model nodes.
+
+    Particles are frozen dataclasses with ``__slots__``, which breaks
+    default pickling: slot state is restored with ``setattr``, and frozen
+    dataclasses forbid it (``FrozenInstanceError``).  Compiled query plans
+    embed particles (through the DTD baked into every plan), and the
+    multi-process service pool ships plans between processes by pickle, so
+    the base class restores slot state through ``object.__setattr__`` —
+    the same door the generated ``__init__`` uses.
+    """
 
     __slots__ = ()
+
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
 
     def labels(self) -> FrozenSet[str]:
         """All child element names mentioned anywhere in this particle."""
@@ -108,6 +128,13 @@ class _Special(ContentParticle):
     def to_dtd_syntax(self) -> str:
         return "#PCDATA" if self.kind == "PCDATA" else self.kind
 
+    def __reduce__(self):
+        # The three special models are singletons compared by identity
+        # (``content is EMPTY`` in :meth:`ElementDecl.to_dtd_syntax`), so a
+        # pickle round-trip must hand back the module-level instance, not a
+        # structurally equal copy.
+        return (_special_instance, (self.kind,))
+
 
 #: Text-only content (``(#PCDATA)``).
 PCDATA = _Special("PCDATA")
@@ -115,6 +142,13 @@ PCDATA = _Special("PCDATA")
 EMPTY = _Special("EMPTY")
 #: Unconstrained content (``ANY``).
 ANY = _Special("ANY")
+
+_SPECIALS = {"PCDATA": PCDATA, "EMPTY": EMPTY, "ANY": ANY}
+
+
+def _special_instance(kind: str) -> _Special:
+    """Unpickling hook: resolve a special model back to its singleton."""
+    return _SPECIALS[kind]
 
 
 @dataclass(frozen=True, repr=False)

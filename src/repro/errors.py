@@ -87,6 +87,25 @@ class PassInProgressError(ReproError):
     """
 
 
+class WorkerCrashError(ReproError):
+    """Raised (as an error-tagged outcome) when a pool worker process dies.
+
+    A :class:`~repro.service.process_pool.ProcessServicePool` that detects
+    a worker process exiting while a document is in flight reports the
+    document as an ``outcome == "error"``
+    :class:`~repro.service.service.ServedDocument` carrying this error
+    (with the process ``exitcode``), then respawns the worker slot.  The
+    in-process pools never raise it: their workers cannot die without the
+    whole interpreter dying.
+    """
+
+    def __init__(self, message: str, exitcode=None):
+        if exitcode is not None:
+            message = f"{message} (exit code {exitcode})"
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
 class BufferError_(ReproError):
     """Raised on invalid buffer-manager usage (e.g. reading a closed scope)."""
 

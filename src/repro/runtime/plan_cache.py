@@ -34,10 +34,12 @@ thundering herd of identical registrations pays the optimizer once.
 from __future__ import annotations
 
 import copy
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.schema import DTD
@@ -92,6 +94,10 @@ class CacheStats:
     #: of compiling themselves (single-flight followers).
     coalesced: int = 0
     evictions: int = 0
+    #: Entries inserted by :meth:`PlanCache.load` (warm-start, not lookups:
+    #: they affect no hit/miss accounting, but a restarted service wants to
+    #: know how many compilations its snapshot spared it).
+    preloaded: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,8 +114,61 @@ class CacheStats:
             "misses": self.misses,
             "coalesced": self.coalesced,
             "evictions": self.evictions,
+            "preloaded": self.preloaded,
             "hit_rate": self.hit_rate,
         }
+
+
+@dataclass(frozen=True)
+class PlanArtifact:
+    """One compiled plan, serialized for shipping or persistence.
+
+    The unit two machineries share:
+
+    * the **multi-process service pool** ships artifacts from the parent's
+      cache to worker processes over a registration channel, so workers
+      reconstruct plans without ever running the optimizer;
+    * :meth:`PlanCache.dump` / :meth:`PlanCache.load` persist a cache as a
+      list of artifacts, so a restarted service warm-starts instead of
+      recompiling its standing queries.
+
+    The identifying components (``source``, ``dtd_fingerprint``,
+    ``pipeline_config``) are carried *beside* the pickled plan — they are
+    exactly the cache key, so a receiver can place (or reject) an artifact
+    without unpickling ``payload`` first.  ``payload`` is the pickled
+    :class:`~repro.runtime.compiler.CompiledQueryPlan`; ``len(payload)`` is
+    the shipping cost a pool reports as ``ship_bytes``.
+    """
+
+    source: str
+    dtd_fingerprint: str
+    pipeline_config: str
+    payload: bytes
+
+    @classmethod
+    def from_plan(cls, entry: CompiledQueryPlan) -> "PlanArtifact":
+        """Serialize one compiled plan (the plan embeds its own DTD)."""
+        return cls(
+            source=entry.source,
+            dtd_fingerprint=dtd_fingerprint(entry.dtd),
+            pipeline_config=entry.pipeline_config,
+            payload=pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The :func:`cache_key` this artifact fills."""
+        return (self.source, self.dtd_fingerprint, self.pipeline_config)
+
+    def load_plan(self) -> CompiledQueryPlan:
+        """Reconstruct the compiled plan (no optimizer run)."""
+        entry = pickle.loads(self.payload)
+        if not isinstance(entry, CompiledQueryPlan):
+            raise TypeError(
+                f"plan artifact payload unpickled to {type(entry).__name__}, "
+                "not a CompiledQueryPlan"
+            )
+        return entry
 
 
 class _Flight:
@@ -277,3 +336,97 @@ class PlanCache:
         """Drop all entries (stats are kept)."""
         with self._lock:
             self._entries.clear()
+
+    # ------------------------------------------------- warm-start snapshots
+
+    #: Leading magic of a cache snapshot file (format versioning).
+    SNAPSHOT_FORMAT = "repro-plan-cache"
+    SNAPSHOT_VERSION = 1
+
+    def artifacts(self) -> List[PlanArtifact]:
+        """The cached plans as shippable artifacts, LRU-first.
+
+        The entry list is snapshotted under the lock; the (possibly slow)
+        per-plan pickling runs outside it, so a dump does not stall
+        concurrent lookups.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        return [PlanArtifact.from_plan(entry) for entry in entries]
+
+    def dump(self, path: str) -> int:
+        """Persist the cache to ``path``; returns the number of plans written.
+
+        The snapshot is keyed by the same stable ``(query text, DTD
+        fingerprint, pipeline config)`` keys the live cache uses —
+        fingerprints are content hashes, so a snapshot taken by one process
+        is valid in any other (or any later restart) seeing the same
+        queries and schemas.  The file is written atomically (temp file +
+        rename): a reader never sees a torn snapshot, and a crash mid-dump
+        leaves any previous snapshot intact.
+        """
+        artifacts = self.artifacts()
+        payload = pickle.dumps(
+            {
+                "format": self.SNAPSHOT_FORMAT,
+                "version": self.SNAPSHOT_VERSION,
+                "artifacts": artifacts,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+        return len(artifacts)
+
+    def load(self, path: str) -> int:
+        """Insert the plans snapshotted at ``path``; returns how many.
+
+        Entries are inserted in the snapshot's LRU order (oldest first), so
+        when the snapshot exceeds :attr:`capacity` the *most recently used*
+        plans of the dumping cache survive the eviction here, like they
+        would have in the live cache.  Loaded entries count in
+        ``stats.preloaded`` (not hits or misses — no lookup happened); an
+        unreadable or wrong-format file raises ``ValueError`` rather than
+        silently serving an empty cache.
+        """
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+            raise ValueError(f"{path} is not a plan-cache snapshot: {exc}") from exc
+        if (
+            not isinstance(snapshot, dict)
+            or snapshot.get("format") != self.SNAPSHOT_FORMAT
+        ):
+            raise ValueError(f"{path} is not a plan-cache snapshot")
+        if snapshot.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"{path} is a version-{snapshot.get('version')} snapshot; "
+                f"this build reads version {self.SNAPSHOT_VERSION}"
+            )
+        loaded = 0
+        for artifact in snapshot["artifacts"]:
+            try:
+                entry = artifact.load_plan()
+            except ValueError:
+                raise
+            except Exception as exc:
+                # A torn payload, or a snapshot from a build whose plan
+                # classes moved: still "not a (usable) snapshot", and the
+                # caller's error contract is ValueError, not raw pickle
+                # internals.
+                raise ValueError(
+                    f"{path}: snapshot plan failed to load: {exc}"
+                ) from exc
+            if cache_key(entry.source, entry.dtd, entry.pipeline_config) != artifact.key:
+                raise ValueError(
+                    f"{path}: artifact key {artifact.key[:2]} does not match "
+                    "its plan (snapshot corrupted or fingerprinting changed)"
+                )
+            self.put(entry)
+            loaded += 1
+        with self._lock:
+            self.stats.preloaded += loaded
+        return loaded

@@ -13,6 +13,14 @@ Public surface:
   they complete and isolating failing documents into error-tagged
   :class:`ServedDocument` outcomes; :class:`PoolMetrics` aggregates the
   workers' accounting;
+* :class:`ProcessServicePool` — the same pool over worker *processes* for
+  CPU-bound streams: the parent compiles once through the shared cache and
+  ships pickled plan artifacts to the workers (``ship_count`` /
+  ``ship_bytes`` in the metrics), evaluation parallelizes across cores,
+  and a crashed worker process is respawned with its in-flight document
+  error-tagged (:class:`~repro.errors.WorkerCrashError`);
+  :class:`FileDocument` / :class:`DocumentSource` let workers materialize
+  documents themselves instead of shipping text through the parent;
 * :class:`AsyncQueryService` / :class:`AsyncSharedPass` — the asyncio
   ingestion front end over the inline scheduler (coroutine ``feed`` /
   ``finish`` / ``serve``);
@@ -45,6 +53,12 @@ from repro.service.dispatcher import (
 )
 from repro.service.metrics import PassMetrics, PoolMetrics, ServiceMetrics
 from repro.service.pool import AsyncServicePool, ServicePool
+from repro.service.pool_core import PoolCore, ServiceBackedPool
+from repro.service.process_pool import (
+    DocumentSource,
+    FileDocument,
+    ProcessServicePool,
+)
 from repro.service.service import QueryService, ServedDocument
 from repro.service.session import RegisteredQuery, SharedPass, SHARED_ENGINE_NAME
 
@@ -52,6 +66,11 @@ __all__ = [
     "QueryService",
     "ServicePool",
     "AsyncServicePool",
+    "ProcessServicePool",
+    "DocumentSource",
+    "FileDocument",
+    "PoolCore",
+    "ServiceBackedPool",
     "AsyncQueryService",
     "AsyncSharedPass",
     "ServedDocument",

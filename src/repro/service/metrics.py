@@ -144,6 +144,12 @@ class PoolMetrics:
     events_forwarded_total: int = 0
     events_pruned_total: int = 0
     text_events_dropped_total: int = 0
+    #: Plan artifacts shipped to worker processes (registration channel
+    #: sends: initial spawns, registration changes, crash respawns).  Zero
+    #: for the in-process backends, which share plans by reference.
+    ship_count: int = 0
+    #: Total pickled-plan payload bytes shipped to worker processes.
+    ship_bytes: int = 0
     per_worker: List[Dict[str, int]] = field(default_factory=list)
 
     @property
@@ -157,9 +163,12 @@ class PoolMetrics:
         worker_metrics: Sequence[ServiceMetrics],
         documents_ok: Mapping[int, int],
         documents_failed: Mapping[int, int],
+        ship_count: int = 0,
+        ship_bytes: int = 0,
     ) -> "PoolMetrics":
         """Fold per-worker service metrics and outcome counts into totals."""
-        pool = cls(workers=len(worker_metrics))
+        pool = cls(workers=len(worker_metrics), ship_count=ship_count,
+                   ship_bytes=ship_bytes)
         for worker_id, metrics in enumerate(worker_metrics):
             ok = documents_ok.get(worker_id, 0)
             failed = documents_failed.get(worker_id, 0)
@@ -195,5 +204,7 @@ class PoolMetrics:
             "events_forwarded_total": self.events_forwarded_total,
             "events_pruned_total": self.events_pruned_total,
             "text_events_dropped_total": self.text_events_dropped_total,
+            "ship_count": self.ship_count,
+            "ship_bytes": self.ship_bytes,
             "per_worker": [dict(entry) for entry in self.per_worker],
         }

@@ -32,6 +32,10 @@ CPU-bound evaluation; what the pool buys on one core is *ingestion
 overlap* — while one worker waits on a slow document source (a socket, a
 file tail, an upload), the others keep evaluating.  The S4 benchmark
 (``benchmarks/bench_s4_pool_scaling.py``) measures both regimes honestly.
+For CPU-bound streams that need hardware parallelism, the same
+architecture is available over worker *processes*:
+:class:`~repro.service.process_pool.ProcessServicePool` ships the compiled
+plans to the workers instead of sharing them (see S5).
 
 :class:`AsyncServicePool` is the same architecture for one event loop: N
 :class:`~repro.service.async_service.AsyncQueryService` workers driven by
@@ -57,145 +61,16 @@ import io
 import queue
 import threading
 import time
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
-from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
 from repro.runtime.plan_cache import PlanCache
 from repro.service.async_service import AsyncQueryService, _iter_documents
-from repro.service.metrics import PoolMetrics
+from repro.service.pool_core import ServiceBackedPool
 from repro.service.service import QueryService, ServedDocument
-from repro.service.session import RegisteredQuery
 
 
-class _PoolBase:
-    """Shared surface of the thread and asyncio pools.
-
-    Holds the worker services, presents one *mirrored* registration
-    surface (every call fans out to all workers under the same key, so
-    each worker's snapshot at pass-open time is identical — while
-    compilation cost does not fan out: all workers compile through one
-    shared plan cache, so the first registration is the only optimizer run
-    and the mirrors are hits/coalesced followers), guards the one-loop-at-
-    a-time invariant, and aggregates the reporting.
-    """
-
-    def __init__(self, dtd: Union[DTD, str, None], workers: int,
-                 plan_cache: Optional[PlanCache], cache_size: int):
-        if workers < 1:
-            raise ValueError("a service pool needs at least one worker")
-        if isinstance(dtd, str):
-            dtd = parse_dtd(dtd)
-        self.dtd = dtd
-        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
-        self._services: List = []  # filled by the subclass
-        self._counter = 0
-        self._serving = False
-        # Delivered-outcome counters by worker id, cumulative across
-        # loops; updated as results are *yielded* (a result drained away
-        # by a closed loop was never served to anyone).
-        self._documents_ok: Dict[int, int] = {}
-        self._documents_failed: Dict[int, int] = {}
-        self._counter_lock = threading.Lock()
-
-    # ------------------------------------------------------- registration
-
-    def _check_mutable(self) -> None:
-        if self._serving:
-            raise RuntimeError(
-                "cannot change pool registrations while a serve loop is "
-                "running; finish (or close) the loop first"
-            )
-
-    def register(self, query: str, key: Optional[str] = None) -> RegisteredQuery:
-        """Register ``query`` on every worker under one ``key``.
-
-        Compiled once through the shared cache; the returned
-        :class:`RegisteredQuery` is worker 0's mirror (all workers share
-        the same compiled plan entry).  Raises ``RuntimeError`` while a
-        serve loop is running.
-        """
-        self._check_mutable()
-        if key is None:
-            self._counter += 1
-            key = f"q{self._counter}"
-        registrations = [
-            service.register(query, key=key) for service in self._services
-        ]
-        return registrations[0]
-
-    def register_all(self, queries: Iterable[str]) -> List[RegisteredQuery]:
-        """Register several queries at once (autogenerated keys)."""
-        return [self.register(query) for query in queries]
-
-    def unregister(self, key: str) -> None:
-        """Remove a standing query from every worker; unknown keys raise
-        ``KeyError``.  Raises ``RuntimeError`` while a serve loop is
-        running."""
-        self._check_mutable()
-        if key not in self._services[0].registrations:
-            raise KeyError(key)
-        for service in self._services:
-            service.unregister(key)
-
-    @property
-    def registrations(self) -> Dict[str, RegisteredQuery]:
-        """The mirrored registrations, by key (worker 0's view)."""
-        return self._services[0].registrations
-
-    def __len__(self) -> int:
-        return len(self._services[0])
-
-    @property
-    def workers(self) -> int:
-        return len(self._services)
-
-    @property
-    def services(self) -> List:
-        """The worker services (read-only by convention; for inspection)."""
-        return list(self._services)
-
-    # -------------------------------------------------- serve-loop guards
-
-    def _begin_serving(self) -> None:
-        if self._serving:
-            raise RuntimeError(
-                "a serve loop is already running on this pool; one shard "
-                "at a time — finish (or close) it before starting another"
-            )
-        if not len(self):
-            raise ValueError("serve(): no queries registered on the pool")
-        self._serving = True
-
-    def _end_serving(self) -> None:
-        self._serving = False
-
-    def _record_outcome(self, worker_id: int, ok: bool) -> None:
-        with self._counter_lock:
-            counters = self._documents_ok if ok else self._documents_failed
-            counters[worker_id] = counters.get(worker_id, 0) + 1
-
-    # ----------------------------------------------------------- reporting
-
-    @property
-    def metrics(self) -> PoolMetrics:
-        """A fresh aggregate of the workers' cumulative metrics."""
-        with self._counter_lock:
-            ok = dict(self._documents_ok)
-            failed = dict(self._documents_failed)
-        return PoolMetrics.aggregate(
-            [service.metrics for service in self._services], ok, failed
-        )
-
-    def stats_summary(self) -> Dict[str, object]:
-        """Pool metrics plus shared plan-cache counters, for logs/benches."""
-        summary = self.metrics.as_dict()
-        summary["plan_cache"] = self.plan_cache.stats.as_dict()
-        summary["plan_cache"]["size"] = len(self.plan_cache)
-        return summary
-
-
-class ServicePool(_PoolBase):
+class ServicePool(ServiceBackedPool):
     """N mirrored :class:`QueryService` workers sharding a document stream.
 
     Parameters
@@ -381,7 +256,7 @@ class ServicePool(_PoolBase):
         )
 
 
-class AsyncServicePool(_PoolBase):
+class AsyncServicePool(ServiceBackedPool):
     """The service pool on one event loop: N coroutine-driven workers.
 
     Mirrors :class:`ServicePool` — shared plan cache, mirrored

@@ -51,8 +51,9 @@ from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
 from repro.engines.base import QueryResult
 from repro.errors import PassInProgressError
+from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EXECUTION_MODES
-from repro.runtime.plan_cache import PlanCache
+from repro.runtime.plan_cache import PlanCache, dtd_fingerprint
 from repro.service.metrics import PassMetrics, ServiceMetrics
 from repro.service.session import RegisteredQuery, SharedPass
 
@@ -163,6 +164,39 @@ class QueryService:
             key = f"q{self._counter}"
         entry, from_cache = self.plan_cache.get_or_compile(query, self.pipeline)
         registration = RegisteredQuery(key, entry, from_cache=from_cache)
+        if key in self._registrations:
+            self.metrics.queries_replaced += 1
+        self._registrations[key] = registration
+        self.metrics.queries_registered += 1
+        return registration
+
+    def register_compiled(
+        self, entry: "CompiledQueryPlan", key: Optional[str] = None
+    ) -> RegisteredQuery:
+        """Register an *already compiled* plan — no cache, no optimizer.
+
+        The receiving half of plan shipping: a
+        :class:`~repro.service.process_pool.ProcessServicePool` worker
+        reconstructs plans from the artifacts the parent shipped and
+        registers them here, so the worker process never parses or
+        optimizes a query.  The plan must have been compiled under this
+        service's schema — a fingerprint mismatch raises ``ValueError``,
+        because a plan bakes its DTD's constraints into scheduling and
+        buffering and is *wrong* (not merely suboptimal) under another
+        schema.  Also usable anywhere else a compiled plan is already in
+        hand (e.g. registering a plan pulled from a warm-started cache).
+        """
+        fingerprint = dtd_fingerprint(self.dtd)
+        entry_fingerprint = dtd_fingerprint(entry.dtd)
+        if entry_fingerprint != fingerprint:
+            raise ValueError(
+                f"compiled plan was built under DTD {entry_fingerprint[:12]}..., "
+                f"but this service serves DTD {fingerprint[:12]}..."
+            )
+        if key is None:
+            self._counter += 1
+            key = f"q{self._counter}"
+        registration = RegisteredQuery(key, entry, from_cache=True)
         if key in self._registrations:
             self.metrics.queries_replaced += 1
         self._registrations[key] = registration

@@ -244,7 +244,8 @@ class TestMultiPool:
         for index in range(4):
             assert f"<!-- doc{index}/q3 -->" in captured.out
             assert f"T{index}" in captured.out
-        assert "[pool] 2 workers, 4 documents (0 failed)" in captured.err
+        assert "[pool] 2 workers" in captured.err
+        assert "4 documents (0 failed)" in captured.err
 
     def test_pool_isolates_a_failing_document(
         self, files, query_dir, documents, capsys
@@ -309,6 +310,171 @@ class TestMultiPool:
                           "-i", files["document"], "--workers", "0"])
         assert exit_code == 2
         assert "--workers" in capsys.readouterr().err
+
+
+class TestMultiProcessBackend:
+    """`multi --backend processes`: the multi-process pool from the CLI."""
+
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+    @pytest.fixture
+    def documents(self, files):
+        paths = []
+        for index in range(3):
+            path = files["dir"] / f"doc{index}.xml"
+            path.write_text(
+                "<bib><book><title>T%d</title><author>A</author>"
+                "<publisher>P</publisher><price>%d.00</price></book></bib>"
+                % (index, index)
+            )
+            paths.append(str(path))
+        return paths
+
+    def test_process_backend_serves_and_reports_shipping(
+        self, files, query_dir, documents, capsys
+    ):
+        import json
+
+        json_path = files["dir"] / "processes.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "--workers", "2",
+                          "--backend", "processes", "-j", str(json_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for index in range(3):
+            assert f"<!-- doc{index}/q3 -->" in captured.out
+            assert f"T{index}" in captured.out
+        assert "[pool] 2 workers (processes)" in captured.err
+        assert "plans shipped" in captured.err
+        payload = json.loads(json_path.read_text())
+        assert payload["backend"] == "processes"
+        # Compile-once across the process boundary: one parent miss, one
+        # artifact shipped per (worker, query).
+        assert payload["plan_cache"]["misses"] == 1
+        assert payload["ship_count"] == 2
+        assert payload["ship_bytes"] > 0
+
+    def test_process_backend_isolates_a_failing_document(
+        self, files, query_dir, documents, capsys
+    ):
+        bad = files["dir"] / "broken.xml"
+        bad.write_text("<bib><book>")
+        exit_code = main(["multi", "-Q", str(query_dir), "-D",
+                          documents[0], str(bad), documents[1],
+                          "-d", files["dtd"], "--workers", "2",
+                          "--backend", "processes"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "[broken] ERROR: XMLSyntaxError" in captured.err
+        assert "T0" in captured.out and "T1" in captured.out
+
+    def test_process_backend_defaults_to_inline_workers(
+        self, files, query_dir, documents
+    ):
+        import json
+
+        # Unset --execution resolves per backend: "inline" inside process
+        # workers (per-query threads there only add handoff cost).
+        json_path = files["dir"] / "exec.json"
+        assert main(["multi", "-Q", str(query_dir), "-D", *documents,
+                     "-d", files["dtd"], "--workers", "2",
+                     "--backend", "processes", "-j", str(json_path)]) == 0
+        assert json.loads(json_path.read_text())["execution"] == "inline"
+        json_path2 = files["dir"] / "exec2.json"
+        assert main(["multi", "-Q", str(query_dir), "-D", *documents,
+                     "-d", files["dtd"], "-j", str(json_path2)]) == 0
+        assert json.loads(json_path2.read_text())["execution"] == "threads"
+
+    def test_process_backend_requires_workers(self, files, query_dir, capsys):
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "--backend", "processes"])
+        assert exit_code == 2
+        assert "--backend processes requires --workers" in capsys.readouterr().err
+
+    def test_process_backend_rejects_async_execution(
+        self, files, query_dir, capsys
+    ):
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "--backend", "processes",
+                          "--workers", "2", "--execution", "async"])
+        assert exit_code == 2
+        assert "async" in capsys.readouterr().err
+
+
+class TestMultiPlanCacheFile:
+    """`multi --plan-cache-file`: warm-start persistence."""
+
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+    def test_second_run_compiles_nothing(self, files, query_dir, capsys):
+        import json
+
+        cache_file = files["dir"] / "plans.bin"
+        json_path = files["dir"] / "first.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"],
+                          "--plan-cache-file", str(cache_file),
+                          "-j", str(json_path)])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "snapshot saved: 1 plans" in err
+        assert json.loads(json_path.read_text())["plan_cache"]["misses"] == 1
+        assert cache_file.exists()
+
+        json_path2 = files["dir"] / "second.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"],
+                          "--plan-cache-file", str(cache_file),
+                          "-j", str(json_path2)])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "warm start: 1 plans loaded" in err
+        payload = json.loads(json_path2.read_text())
+        assert payload["plan_cache"]["misses"] == 0
+        assert payload["plan_cache"]["preloaded"] == 1
+        assert payload["plan_cache"]["hits"] == 1
+
+    def test_warm_start_works_with_the_process_backend(
+        self, files, query_dir, capsys
+    ):
+        import json
+
+        cache_file = files["dir"] / "plans.bin"
+        assert main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                     "-d", files["dtd"],
+                     "--plan-cache-file", str(cache_file)]) == 0
+        capsys.readouterr()
+        json_path = files["dir"] / "processes.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "--workers", "2",
+                          "--backend", "processes",
+                          "--plan-cache-file", str(cache_file),
+                          "-j", str(json_path)])
+        assert exit_code == 0
+        payload = json.loads(json_path.read_text())
+        # The process pool compiled nothing: its plans came from the
+        # snapshot and were shipped to the workers from there.
+        assert payload["plan_cache"]["misses"] == 0
+        assert payload["ship_count"] == 2
+
+    def test_corrupt_cache_file_is_a_clean_error(self, files, query_dir, capsys):
+        cache_file = files["dir"] / "plans.bin"
+        cache_file.write_bytes(b"garbage")
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"],
+                          "--plan-cache-file", str(cache_file)])
+        assert exit_code == 2
+        assert "snapshot" in capsys.readouterr().err
 
 
 class TestCompareCommand:

@@ -1,0 +1,114 @@
+"""Pickle round-trips of the DTD content-model layer.
+
+The content particles are frozen dataclasses with ``__slots__`` — the
+combination default pickling cannot restore (slot state comes back through
+``setattr``, which frozen dataclasses forbid).  Plan shipping to worker
+processes and plan-cache snapshots both pickle compiled plans, and every
+plan embeds its DTD, so every particle kind must round-trip — and the
+three special models must come back as *the* module singletons, because
+``ElementDecl`` renders (and therefore fingerprints) by identity.
+"""
+
+import pickle
+
+import pytest
+
+from repro.dtd.model import (
+    ANY,
+    EMPTY,
+    PCDATA,
+    AttributeDecl,
+    Choice,
+    ElementDecl,
+    Name,
+    OneOrMore,
+    Optional_,
+    Sequence,
+    ZeroOrMore,
+)
+from repro.dtd.parser import parse_dtd
+from repro.workloads.dtds import AUCTION_DTD, BIB_DTD_STRONG, BIB_DTD_WEAK
+
+#: One exemplar of every particle kind, nesting included.
+PARTICLES = [
+    Name("title"),
+    Sequence((Name("a"), Name("b"), Name("c"))),
+    Choice((Name("author"), Name("editor"))),
+    ZeroOrMore(Name("book")),
+    OneOrMore(Choice((Name("x"), Name("y")))),
+    Optional_(Sequence((Name("p"), Optional_(Name("q"))))),
+    Sequence((Name("title"), Choice((OneOrMore(Name("author")),
+                                     OneOrMore(Name("editor")))),
+              ZeroOrMore(Name("price")))),
+    PCDATA,
+    EMPTY,
+    ANY,
+]
+
+
+class TestParticleRoundTrips:
+    @pytest.mark.parametrize(
+        "particle", PARTICLES, ids=lambda p: p.to_dtd_syntax()
+    )
+    def test_round_trip_preserves_equality_and_syntax(self, particle):
+        restored = pickle.loads(pickle.dumps(particle))
+        assert restored == particle
+        assert restored.to_dtd_syntax() == particle.to_dtd_syntax()
+
+    @pytest.mark.parametrize(
+        "particle", PARTICLES, ids=lambda p: p.to_dtd_syntax()
+    )
+    def test_round_trip_preserves_analyses(self, particle):
+        restored = pickle.loads(pickle.dumps(particle))
+        assert restored.labels() == particle.labels()
+        assert restored.nullable() == particle.nullable()
+        for label in sorted(particle.labels()) or ["absent"]:
+            assert restored.min_count(label) == particle.min_count(label)
+            assert restored.max_count(label) == particle.max_count(label)
+
+    @pytest.mark.parametrize("protocol", range(2, pickle.HIGHEST_PROTOCOL + 1))
+    def test_every_protocol(self, protocol):
+        for particle in PARTICLES:
+            restored = pickle.loads(pickle.dumps(particle, protocol=protocol))
+            assert restored == particle
+
+    def test_specials_come_back_as_the_singletons(self):
+        # ElementDecl.to_dtd_syntax compares ``content is EMPTY`` — a
+        # structurally equal copy would silently change rendering (and so
+        # the DTD fingerprint) after a pickle round-trip.
+        for singleton in (PCDATA, EMPTY, ANY):
+            assert pickle.loads(pickle.dumps(singleton)) is singleton
+
+    def test_restored_particles_are_still_frozen(self):
+        restored = pickle.loads(pickle.dumps(Name("a")))
+        with pytest.raises(Exception):
+            restored.name = "b"
+
+
+class TestDeclsAndSchemas:
+    def test_element_decl_with_empty_content_renders_identically(self):
+        decl = ElementDecl("hollow", EMPTY)
+        restored = pickle.loads(pickle.dumps(decl))
+        assert restored.to_dtd_syntax() == "<!ELEMENT hollow EMPTY>"
+        assert restored.to_dtd_syntax() == decl.to_dtd_syntax()
+
+    def test_attribute_decl_round_trips(self):
+        decl = AttributeDecl("book", "year", "CDATA", "#REQUIRED")
+        assert pickle.loads(pickle.dumps(decl)) == decl
+
+    @pytest.mark.parametrize(
+        "dtd_text", [BIB_DTD_STRONG, BIB_DTD_WEAK, AUCTION_DTD],
+        ids=["bib-strong", "bib-weak", "auction"],
+    )
+    def test_whole_dtd_round_trips_with_stable_fingerprint(self, dtd_text):
+        dtd = parse_dtd(dtd_text)
+        restored = pickle.loads(pickle.dumps(dtd))
+        # The fingerprint is the plan-cache key component; if it drifted
+        # across a pickle round-trip, warm-started caches and shipped
+        # plans would silently miss (or worse, collide).
+        assert restored.fingerprint() == dtd.fingerprint()
+        for name in dtd.element_names:
+            assert (
+                restored.element(name).to_dtd_syntax()
+                == dtd.element(name).to_dtd_syntax()
+            )
