@@ -40,7 +40,15 @@ Installed as the ``fluxrepro`` console script, or run as a module::
   ``--output-dir`` (one ``<name>.xml`` per query; one subdirectory per
   document when serving several) or stdout; per-query statistics and the
   shared scan's savings are reported on stderr, and ``--json`` dumps them
-  machine-readably.
+  machine-readably.  Observability is opt-in per component:
+  ``--metrics-out FILE`` writes a metrics snapshot (JSON plus
+  ``FILE.prom`` Prometheus text), ``--trace-out FILE`` writes stage spans
+  as JSON-lines (one trace id per document, propagated into pool
+  workers), ``--log-json [FILE]`` writes structured lifecycle events, and
+  ``--profile`` prints a per-stage cProfile report; with all four off the
+  serving path is the uninstrumented one.
+* ``stats`` pretty-prints a metrics snapshot written by
+  ``multi --metrics-out``.
 
 Queries and documents are read from files; ``-`` means stdin.  The DTD can
 be given explicitly with ``--dtd``; otherwise, if the document carries a
@@ -64,6 +72,15 @@ from repro.engines.flux_engine import FluxEngine
 from repro.engines.projection_engine import ProjectionEngine
 from repro.bench.harness import BenchmarkHarness
 from repro.bench.reporting import format_table
+from repro.obs import (
+    JsonLinesSink,
+    JsonLogger,
+    MetricsRegistry,
+    Observability,
+    StageProfiler,
+    Tracer,
+    format_snapshot,
+)
 from repro.runtime.plan_cache import PlanCache
 from repro.service import (
     AsyncQueryService,
@@ -146,6 +163,30 @@ def _command_explain(args: argparse.Namespace) -> int:
     print(plan.bdf.describe())
     print("== Safety ==")
     print("safe" if compiled.is_safe else "\n".join(str(v) for v in compiled.safety_violations))
+    print("== Optimizer timings ==")
+    for stage in ("parse", "normalize", "optimize", "schedule", "safety"):
+        if stage in compiled.stage_seconds:
+            print(f"{stage:<9} {compiled.stage_seconds[stage] * 1000:9.3f} ms")
+    print(f"{'total':<9} {compiled.optimize_seconds * 1000:9.3f} ms")
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot written by ``multi --metrics-out``."""
+    try:
+        text = _read(args.snapshot)
+    except OSError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = json.loads(text)
+    except ValueError as exc:
+        print(f"stats: {args.snapshot} is not a metrics snapshot: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(snapshot, dict):
+        print(f"stats: {args.snapshot} is not a metrics snapshot", file=sys.stderr)
+        return 2
+    sys.stdout.write(format_snapshot(snapshot))
     return 0
 
 
@@ -271,6 +312,60 @@ def _multi_report_pass(label, results, metrics, args, per_document: bool) -> Non
     )
 
 
+def _build_observability(args: argparse.Namespace) -> Optional[Observability]:
+    """The observability hub for one ``multi`` run (``None``: all flags off).
+
+    Each flag enables exactly one component: ``--metrics-out`` the
+    registry, ``--trace-out`` a JSON-lines span sink, ``--log-json`` the
+    structured event log (to a file, or stderr for the bare flag), and
+    ``--profile`` the per-stage cProfile hooks.  With every flag off the
+    serving code keeps its original, uninstrumented path.
+    """
+    if not (args.metrics_out or args.trace_out or args.log_json or args.profile):
+        return None
+    return Observability(
+        metrics=MetricsRegistry() if args.metrics_out else None,
+        tracer=Tracer(JsonLinesSink(args.trace_out)) if args.trace_out else None,
+        logger=(
+            JsonLogger(sys.stderr if args.log_json == "-" else args.log_json)
+            if args.log_json
+            else None
+        ),
+        profiler=StageProfiler() if args.profile else None,
+    )
+
+
+def _finalize_observability(obs, args, summary_source, pooled: bool) -> None:
+    """Write the run's metrics snapshot and profile report, flush sinks.
+
+    The registry gets the run's final service/pool totals and the plan
+    cache's counters folded in (the push-style pass/stage series are
+    already there), then ``--metrics-out`` receives the JSON snapshot and
+    ``--metrics-out``+``.prom`` the Prometheus text exposition.
+    """
+    if obs.metrics is not None:
+        summary = summary_source.stats_summary()
+        summary.pop("plan_cache", None)
+        obs.metrics.set_from_dict(
+            "repro_pool" if pooled else "repro_service", summary
+        )
+        summary_source.plan_cache.register_metrics(obs.metrics)
+        snapshot = obs.metrics.snapshot()
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        prom_path = args.metrics_out + ".prom"
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics.to_prometheus())
+        print(
+            f"[obs] metrics snapshot: {args.metrics_out} "
+            f"(Prometheus text: {prom_path})",
+            file=sys.stderr,
+        )
+    if obs.profiler is not None:
+        print(obs.profiler.report(), file=sys.stderr)
+    obs.close()
+
+
 def _command_multi(args: argparse.Namespace) -> int:
     if bool(args.input) == bool(args.documents):
         print("multi: give exactly one of --input or --documents", file=sys.stderr)
@@ -353,6 +448,7 @@ def _command_multi(args: argparse.Namespace) -> int:
                     yield handle
 
     validate = not args.no_validate
+    obs = _build_observability(args)
     # Each pass is reported (stdout/stderr/files) as soon as it finishes —
     # a long stream never buffers results, a mid-stream failure leaves
     # every completed document's output already delivered, and with a pool
@@ -391,9 +487,10 @@ def _command_multi(args: argparse.Namespace) -> int:
     if args.execution == "async":
         service = (
             AsyncServicePool(dtd, workers=workers, validate=validate,
-                             plan_cache=plan_cache)
+                             plan_cache=plan_cache, obs=obs)
             if pooled
-            else AsyncQueryService(dtd, validate=validate, plan_cache=plan_cache)
+            else AsyncQueryService(dtd, validate=validate, plan_cache=plan_cache,
+                                   obs=obs)
         )
     elif args.backend == "processes":
         service = ProcessServicePool(
@@ -402,15 +499,16 @@ def _command_multi(args: argparse.Namespace) -> int:
             validate=validate,
             execution=args.execution,
             plan_cache=plan_cache,
+            obs=obs,
         )
     elif pooled:
         service = ServicePool(
             dtd, workers=workers, validate=validate, execution=args.execution,
-            plan_cache=plan_cache,
+            plan_cache=plan_cache, obs=obs,
         )
     else:
         service = QueryService(dtd, validate=validate, execution=args.execution,
-                               plan_cache=plan_cache)
+                               plan_cache=plan_cache, obs=obs)
     for key, text in queries:
         service.register(text, key=key)
 
@@ -492,6 +590,8 @@ def _command_multi(args: argparse.Namespace) -> int:
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
+    if obs is not None:
+        _finalize_observability(obs, args, summary_source, pooled)
     return 1 if failures else 0
 
 
@@ -595,7 +695,50 @@ def build_parser() -> argparse.ArgumentParser:
         "skips cold compilation (keys are stable (query, DTD fingerprint) "
         "pairs, valid across processes and restarts)",
     )
+    multi_parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="collect pass/pool/plan-cache metrics and stage latency "
+        "histograms into one registry and write the snapshot to FILE as "
+        "JSON plus FILE.prom as Prometheus text exposition (pretty-print "
+        "the JSON later with `repro stats FILE`)",
+    )
+    multi_parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="record stage spans (pass parse/route/dispatch/evaluate/emit; "
+        "pool shard/ship/respawn) as JSON-lines to FILE; one trace id per "
+        "document, propagated to pool workers — including across process "
+        "pipes and crash-respawns, so a document's worker-side spans merge "
+        "into the same trace as its parent-side ones",
+    )
+    multi_parser.add_argument(
+        "--log-json",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="write structured JSON-lines lifecycle events (register/"
+        "unregister, pass start/finish, fault isolation, crash-respawn, "
+        "plan shipping) to FILE, or to stderr when no FILE is given",
+    )
+    multi_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile serving with cProfile and print a per-stage "
+        "top-of-profile report to stderr (off by default; most useful "
+        "without --workers — pool passes run on worker threads/processes "
+        "the single profiler cannot follow)",
+    )
     multi_parser.set_defaults(handler=_command_multi)
+
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="pretty-print a metrics snapshot written by multi --metrics-out",
+    )
+    stats_parser.add_argument(
+        "snapshot", help="metrics snapshot JSON file ('-' for stdin)"
+    )
+    stats_parser.set_defaults(handler=_command_stats)
 
     return parser
 

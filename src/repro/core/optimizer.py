@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
@@ -45,6 +45,10 @@ class OptimizedQuery:
     scheduling_report: SchedulingReport
     safety_violations: List[SafetyViolation] = field(default_factory=list)
     optimize_seconds: float = 0.0
+    #: Elapsed seconds per pipeline stage, in execution order (parse,
+    #: normalize, optimize, schedule, safety).  Default-valued so plan
+    #: artifacts pickled before this field existed still load.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def is_safe(self) -> bool:
@@ -123,14 +127,19 @@ class OptimizerPipeline:
 
     def compile(self, query: Union[str, XQueryExpr]) -> OptimizedQuery:
         """Run the full pipeline on ``query`` (XQuery text or AST)."""
-        started = time.perf_counter()
+        perf = time.perf_counter
+        started = perf()
         if isinstance(query, str):
             source = query
             parsed = parse_xquery(query)
         else:
             parsed = query
             source = query.to_xquery()
+        stage_seconds: Dict[str, float] = {"parse": perf() - started}
+        mark = perf()
         normalized = normalize(parsed)
+        stage_seconds["normalize"] = perf() - mark
+        mark = perf()
         optimizer = AlgebraicOptimizer(
             self.dtd,
             enable_loop_merging=self.enable_loop_merging,
@@ -138,13 +147,18 @@ class OptimizerPipeline:
             enable_path_relativization=self.enable_path_relativization,
         )
         optimized = optimizer.optimize(normalized)
+        stage_seconds["optimize"] = perf() - mark
+        mark = perf()
         flux, scheduling_report = schedule_query(
             optimized, self.dtd, use_order_constraints=self.use_order_constraints
         )
+        stage_seconds["schedule"] = perf() - mark
+        mark = perf()
         violations = check_safety(flux, self.dtd)
         if violations and self.strict_safety:
             assert_safe(flux, self.dtd)
-        elapsed = time.perf_counter() - started
+        stage_seconds["safety"] = perf() - mark
+        elapsed = perf() - started
         return OptimizedQuery(
             source=source,
             parsed=parsed,
@@ -156,6 +170,7 @@ class OptimizerPipeline:
             scheduling_report=scheduling_report,
             safety_violations=violations,
             optimize_seconds=elapsed,
+            stage_seconds=stage_seconds,
         )
 
 

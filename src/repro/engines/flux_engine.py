@@ -25,6 +25,7 @@ from typing import Iterable, Optional, Union
 from repro.core.optimizer import OptimizedQuery, OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.engines.base import Engine, QueryResult
+from repro.obs import Observability
 from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EvaluatorSession, StreamedEvaluator
 from repro.runtime.plan_cache import PlanCache
@@ -53,6 +54,12 @@ class FluxEngine(Engine):
         the multi-query service uses, so a query registered with a service
         and executed solo by an engine pays the optimizer once.  By default
         the engine owns a fresh bounded cache of ``cache_size`` plans.
+    obs:
+        Optional :class:`~repro.obs.Observability` hub; one-shot
+        :meth:`CompiledFluxQuery.execute` calls fold their runtime stats
+        into its metrics registry (``repro_engine_*`` series).  Push-based
+        sessions are not instrumented here — the multi-query service that
+        drives them accounts for passes itself.
     """
 
     name = "flux"
@@ -67,9 +74,11 @@ class FluxEngine(Engine):
         use_order_constraints: bool = True,
         plan_cache: Optional[PlanCache] = None,
         cache_size: int = 128,
+        obs: Optional[Observability] = None,
     ):
         super().__init__(dtd)
         self.validate = validate
+        self.obs = obs
         self.pipeline = OptimizerPipeline(
             self.dtd,
             enable_loop_merging=enable_loop_merging,
@@ -135,6 +144,8 @@ class CompiledFluxQuery:
         evaluator = StreamedEvaluator(self.plan, self.engine.dtd, validate=self.engine.validate)
         events = parse_events(document)
         output, stats = evaluator.run_to_string(events)
+        if self.engine.obs is not None:
+            stats.observe(self.engine.obs, engine=self.engine.name)
         return QueryResult(output=output, stats=stats, engine=self.engine.name, query=self.query)
 
     def start(self, validate: Optional[bool] = None) -> "FluxQuerySession":

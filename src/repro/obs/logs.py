@@ -1,0 +1,71 @@
+"""Structured JSON-lines logging for service and pool lifecycle events.
+
+One event, one JSON line: ``{"ts", "event", ...fields}``.  The event
+vocabulary mirrors the lifecycle state machines in
+``docs/ARCHITECTURE.md``: ``service.register`` / ``service.unregister``,
+``pass.start`` / ``pass.finish`` / ``pass.abort``, ``pool.fault``
+(fault isolation of one document's failure), ``pool.respawn``
+(crash-respawn of a worker process), ``pool.ship`` (plan shipping), and
+``cache.evict``.  Nothing in ``src/`` logged anything before this
+module; it stays deliberately tiny — no levels, no formatters, no global
+state — because the consumer is ``jq``, not a human tailing text.
+
+Stdlib only; no ``repro`` imports; safe to call from any thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class JsonLogger:
+    """Thread-safe JSON-lines event logger writing to a file or stream."""
+
+    def __init__(self, path_or_file):
+        if hasattr(path_or_file, "write"):
+            self._file = path_or_file
+            self._owns = False
+        else:
+            self._file = open(path_or_file, "a", encoding="utf-8")
+            self._owns = True
+        self._lock = threading.Lock()
+
+    def event(self, name: str, **fields) -> Dict:
+        """Write one event line; returns the dict that was written."""
+        record = {"ts": time.time(), "event": name}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+            self._file.flush()
+        return record
+
+    def close(self) -> None:
+        with self._lock:
+            if self._owns:
+                self._file.close()
+
+
+class MemoryLogger(JsonLogger):
+    """Collects event dicts in memory instead of writing — for tests."""
+
+    def __init__(self):  # pylint: disable=super-init-not-called
+        self._lock = threading.Lock()
+        self.events: List[Dict] = []
+
+    def event(self, name: str, **fields) -> Dict:
+        record = {"ts": time.time(), "event": name}
+        record.update(fields)
+        with self._lock:
+            self.events.append(record)
+        return record
+
+    def close(self) -> None:
+        pass
+
+    def find(self, name: str) -> List[Dict]:
+        with self._lock:
+            return [e for e in self.events if e["event"] == name]

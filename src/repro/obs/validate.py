@@ -1,0 +1,132 @@
+"""Validators for the observability output formats.
+
+Shared by the golden tests and the CI smoke job (``scripts/ci_obs_smoke.py``)
+so both check the *same* grammar: a tiny line-format validator for
+Prometheus text exposition, and a JSON-lines checker for trace and log
+files.  These are deliberately strict about structure and silent about
+values — they answer "would a scraper/jq parse this?", not "are the
+numbers right?".
+
+Stdlib only; no ``repro`` imports.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"                 # metric name
+    r"(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*)\})?"  # labels
+    r" (-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN))"         # value
+    r"(?: -?\d+)?$"                                 # optional timestamp
+)
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Validate Prometheus text exposition; returns a list of problems.
+
+    Empty list means valid.  Checks line grammar, that every sample's
+    name matches a declared ``# TYPE`` family (histogram samples may use
+    the ``_bucket``/``_sum``/``_count`` suffixes), and that histogram
+    bucket counts are cumulative and agree with ``_count``.
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    bucket_runs: Dict[str, List[float]] = {}
+    counts: Dict[str, float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            if not _HELP_RE.match(line):
+                problems.append(f"line {lineno}: malformed HELP: {line!r}")
+            continue
+        if line.startswith("# TYPE "):
+            match = _TYPE_RE.match(line)
+            if not match:
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+            else:
+                declared[match.group(1)] = match.group(2)
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name, labels, value = match.group(1), match.group(2), match.group(3)
+        family = _family_of(name, declared)
+        if family is None:
+            problems.append(f"line {lineno}: sample {name!r} has no # TYPE declaration")
+            continue
+        if declared[family] == "histogram":
+            series = f"{family}|{_strip_le(labels or '')}"
+            if name.endswith("_bucket"):
+                bucket_runs.setdefault(series, []).append(float(value.replace("+Inf", "inf")))
+            elif name.endswith("_count"):
+                counts[series] = float(value)
+    for series, run in bucket_runs.items():
+        if any(b > a for b, a in zip(run, run[1:])):
+            problems.append(f"histogram {series}: bucket counts not cumulative: {run}")
+        if series in counts and run and run[-1] != counts[series]:
+            problems.append(
+                f"histogram {series}: +Inf bucket {run[-1]} != _count {counts[series]}"
+            )
+    return problems
+
+
+def _family_of(sample_name: str, declared: Dict[str, str]) -> Optional[str]:
+    if sample_name in declared:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) == "histogram":
+                return base
+    return None
+
+
+def _strip_le(labels: str) -> str:
+    """Label string with any ``le="..."`` pair removed, for series keying."""
+    return ",".join(
+        pair for pair in labels.split(",") if pair and not pair.startswith("le=")
+    )
+
+
+def validate_json_lines(
+    lines: Iterable[str], required_keys: Sequence[str] = ()
+) -> List[str]:
+    """Validate JSON-lines content (trace or log files); returns problems.
+
+    Each non-blank line must parse as a JSON object carrying every key in
+    ``required_keys``.  Use ``("trace_id", "span_id", "name", "start",
+    "duration_s")`` for traces, ``("ts", "event")`` for logs.
+    """
+    problems: List[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not JSON: {exc}")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: not a JSON object")
+            continue
+        missing = [key for key in required_keys if key not in record]
+        if missing:
+            problems.append(f"line {lineno}: missing keys {missing}")
+    return problems
+
+
+#: Required keys for span JSON-lines (``--trace-out``).
+TRACE_KEYS = ("trace_id", "span_id", "name", "start", "duration_s")
+
+#: Required keys for log JSON-lines (``--log-json``).
+LOG_KEYS = ("ts", "event")

@@ -77,6 +77,31 @@ class RuntimeStats:
             **self.extra,
         }
 
+    def observe(self, obs, **labels) -> None:
+        """Fold this evaluation's counters into an observability hub.
+
+        ``obs`` is a :class:`repro.obs.Observability` (duck-typed: anything
+        carrying a ``metrics`` registry works; a hub without metrics is a
+        no-op), so engines can call this unconditionally once a hub is
+        configured.  ``labels`` (e.g. ``engine="flux"``) distinguish the
+        series of different engines sharing one registry.
+        """
+        metrics = getattr(obs, "metrics", None)
+        if metrics is None:
+            return
+        metrics.counter(
+            "repro_engine_events_total",
+            "Parser events processed by solo engine executions.",
+        ).inc(self.events_processed, **labels)
+        metrics.counter(
+            "repro_engine_output_bytes_total",
+            "Serialized result bytes produced by solo engine executions.",
+        ).inc(self.output_bytes, **labels)
+        metrics.histogram(
+            "repro_engine_eval_seconds",
+            "Wall-clock evaluation time of one solo engine execution.",
+        ).observe(self.elapsed_seconds, **labels)
+
     def summary(self) -> str:
         return (
             f"peak buffer: {self.peak_buffer_bytes} B, "

@@ -34,6 +34,7 @@ from typing import AsyncIterator, Dict, Iterable, List, Optional, Union
 
 from repro.dtd.schema import DTD
 from repro.engines.base import QueryResult
+from repro.obs import Observability
 from repro.runtime.plan_cache import PlanCache
 from repro.service.metrics import PassMetrics, ServiceMetrics
 from repro.service.service import QueryService, ServedDocument, _READ_CHUNK
@@ -128,6 +129,7 @@ class AsyncQueryService:
         validate: bool = True,
         plan_cache: Optional[PlanCache] = None,
         cache_size: int = 128,
+        obs: Optional[Observability] = None,
     ):
         self._service = QueryService(
             dtd,
@@ -135,6 +137,7 @@ class AsyncQueryService:
             plan_cache=plan_cache,
             cache_size=cache_size,
             execution="inline",
+            obs=obs,
         )
 
     # ------------------------------------------------------- registration
@@ -179,7 +182,9 @@ class AsyncQueryService:
 
     # ---------------------------------------------------------- execution
 
-    def open_pass(self, chunk_size: int = 256) -> AsyncSharedPass:
+    def open_pass(
+        self, chunk_size: int = 256, trace_id: Optional[str] = None
+    ) -> AsyncSharedPass:
         """Open a coroutine-driven shared pass over one document.
 
         One pass at a time, like the sync service: raises
@@ -187,7 +192,9 @@ class AsyncQueryService:
         flight.  (Synchronous on purpose: opening a pass only snapshots
         registrations and builds suspended generators — nothing blocks.)
         """
-        return AsyncSharedPass(self._service.open_pass(chunk_size=chunk_size))
+        return AsyncSharedPass(
+            self._service.open_pass(chunk_size=chunk_size, trace_id=trace_id)
+        )
 
     async def run_pass(
         self, document: Union[str, io.TextIOBase]

@@ -92,8 +92,10 @@ class ServiceMetrics:
     passes_completed: int = 0
     parser_events_total: int = 0
     events_forwarded_total: int = 0
+    subtrees_pruned_total: int = 0
     events_pruned_total: int = 0
     text_events_dropped_total: int = 0
+    elapsed_seconds_total: float = 0.0
     results_produced: int = 0
     last_pass: PassMetrics = field(default_factory=PassMetrics)
 
@@ -102,8 +104,10 @@ class ServiceMetrics:
         self.passes_completed += 1
         self.parser_events_total += pass_metrics.parser_events
         self.events_forwarded_total += pass_metrics.events_forwarded
+        self.subtrees_pruned_total += pass_metrics.subtrees_pruned
         self.events_pruned_total += pass_metrics.events_pruned
         self.text_events_dropped_total += pass_metrics.text_events_dropped
+        self.elapsed_seconds_total += pass_metrics.elapsed_seconds
         self.results_produced += results
         self.last_pass = pass_metrics
 
@@ -115,8 +119,10 @@ class ServiceMetrics:
             "passes_completed": self.passes_completed,
             "parser_events_total": self.parser_events_total,
             "events_forwarded_total": self.events_forwarded_total,
+            "subtrees_pruned_total": self.subtrees_pruned_total,
             "events_pruned_total": self.events_pruned_total,
             "text_events_dropped_total": self.text_events_dropped_total,
+            "elapsed_seconds_total": self.elapsed_seconds_total,
             "results_produced": self.results_produced,
             "last_pass": self.last_pass.as_dict(),
         }
@@ -142,8 +148,10 @@ class PoolMetrics:
     results_produced: int = 0
     parser_events_total: int = 0
     events_forwarded_total: int = 0
+    subtrees_pruned_total: int = 0
     events_pruned_total: int = 0
     text_events_dropped_total: int = 0
+    elapsed_seconds_total: float = 0.0
     #: Plan artifacts shipped to worker processes (registration channel
     #: sends: initial spawns, registration changes, crash respawns).  Zero
     #: for the in-process backends, which share plans by reference.
@@ -178,8 +186,10 @@ class PoolMetrics:
             pool.results_produced += metrics.results_produced
             pool.parser_events_total += metrics.parser_events_total
             pool.events_forwarded_total += metrics.events_forwarded_total
+            pool.subtrees_pruned_total += metrics.subtrees_pruned_total
             pool.events_pruned_total += metrics.events_pruned_total
             pool.text_events_dropped_total += metrics.text_events_dropped_total
+            pool.elapsed_seconds_total += metrics.elapsed_seconds_total
             pool.per_worker.append(
                 {
                     "worker": worker_id,
@@ -202,8 +212,10 @@ class PoolMetrics:
             "results_produced": self.results_produced,
             "parser_events_total": self.parser_events_total,
             "events_forwarded_total": self.events_forwarded_total,
+            "subtrees_pruned_total": self.subtrees_pruned_total,
             "events_pruned_total": self.events_pruned_total,
             "text_events_dropped_total": self.text_events_dropped_total,
+            "elapsed_seconds_total": self.elapsed_seconds_total,
             "ship_count": self.ship_count,
             "ship_bytes": self.ship_bytes,
             "per_worker": [dict(entry) for entry in self.per_worker],

@@ -64,6 +64,7 @@ import time
 from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.dtd.schema import DTD
+from repro.obs import Observability, new_trace_id
 from repro.runtime.plan_cache import PlanCache
 from repro.service.async_service import AsyncQueryService, _iter_documents
 from repro.service.pool_core import ServiceBackedPool
@@ -103,15 +104,18 @@ class ServicePool(ServiceBackedPool):
         plan_cache: Optional[PlanCache] = None,
         cache_size: int = 128,
         execution: str = "threads",
+        obs: Optional[Observability] = None,
     ):
-        super().__init__(dtd, workers, plan_cache, cache_size)
+        super().__init__(dtd, workers, plan_cache, cache_size, obs=obs)
         self.execution = execution
+        worker_obs = obs.for_pool_worker() if obs is not None else None
         self._services = [
             QueryService(
                 self.dtd,
                 validate=validate,
                 plan_cache=self.plan_cache,
                 execution=execution,
+                obs=worker_obs,
             )
             for _ in range(workers)
         ]
@@ -213,8 +217,8 @@ class ServicePool(ServiceBackedPool):
                 thread.join()
             self._end_serving()
 
-    @staticmethod
     def _serve_one(
+        self,
         service: QueryService,
         worker_id: int,
         index: int,
@@ -226,34 +230,63 @@ class ServicePool(ServiceBackedPool):
         An ``Exception`` mid-pass aborts that pass (releasing the worker's
         slot and its per-query sessions) and is folded into an error-tagged
         :class:`ServedDocument`; anything harsher propagates to the caller.
+
+        With tracing on, the whole shard — pass included — runs under one
+        trace id minted here, and a ``pool.shard`` span brackets the
+        worker's pass span; a fault-isolated failure is logged as
+        ``pool.fault`` with the same trace id.
         """
-        shared_pass = service.open_pass(chunk_size=chunk_size)
+        obs = self.obs
+        tracing = obs is not None and obs.tracer is not None
+        trace_id = new_trace_id() if tracing else None
+        shard_span = (
+            obs.tracer.span(
+                "pool.shard", trace_id=trace_id, worker=worker_id, index=index
+            )
+            if tracing
+            else None
+        )
         try:
-            service._feed_document(shared_pass, document)
-            results = shared_pass.finish()
-        except Exception as exc:
-            shared_pass.abort()
-            # Drop the traceback: its frames pin the document text and the
-            # aborted pass graph for the outcome's lifetime, and a serving
-            # loop may accumulate many error outcomes.
-            exc.__traceback__ = None
+            shared_pass = service.open_pass(chunk_size=chunk_size, trace_id=trace_id)
+            try:
+                service._feed_document(shared_pass, document)
+                results = shared_pass.finish()
+            except Exception as exc:
+                shared_pass.abort()
+                # Drop the traceback: its frames pin the document text and
+                # the aborted pass graph for the outcome's lifetime, and a
+                # serving loop may accumulate many error outcomes.
+                exc.__traceback__ = None
+                if obs is not None:
+                    obs.log(
+                        "pool.fault",
+                        worker=worker_id,
+                        index=index,
+                        error=type(exc).__name__,
+                        trace_id=trace_id,
+                    )
+                if shard_span is not None:
+                    shard_span.set(outcome="error")
+                return ServedDocument(
+                    index=index,
+                    results={},
+                    metrics=shared_pass.metrics,
+                    outcome="error",
+                    error=exc,
+                    worker=worker_id,
+                )
+            except BaseException:
+                shared_pass.abort()
+                raise
             return ServedDocument(
                 index=index,
-                results={},
+                results=results,
                 metrics=shared_pass.metrics,
-                outcome="error",
-                error=exc,
                 worker=worker_id,
             )
-        except BaseException:
-            shared_pass.abort()
-            raise
-        return ServedDocument(
-            index=index,
-            results=results,
-            metrics=shared_pass.metrics,
-            worker=worker_id,
-        )
+        finally:
+            if shard_span is not None:
+                shard_span.finish()
 
 
 class AsyncServicePool(ServiceBackedPool):
@@ -280,10 +313,17 @@ class AsyncServicePool(ServiceBackedPool):
         validate: bool = True,
         plan_cache: Optional[PlanCache] = None,
         cache_size: int = 128,
+        obs: Optional[Observability] = None,
     ):
-        super().__init__(dtd, workers, plan_cache, cache_size)
+        super().__init__(dtd, workers, plan_cache, cache_size, obs=obs)
+        worker_obs = obs.for_pool_worker() if obs is not None else None
         self._services = [
-            AsyncQueryService(self.dtd, validate=validate, plan_cache=self.plan_cache)
+            AsyncQueryService(
+                self.dtd,
+                validate=validate,
+                plan_cache=self.plan_cache,
+                obs=worker_obs,
+            )
             for _ in range(workers)
         ]
 
@@ -359,38 +399,62 @@ class AsyncServicePool(ServiceBackedPool):
             await asyncio.gather(*tasks, return_exceptions=True)
             self._end_serving()
 
-    @staticmethod
     async def _serve_one(
+        self,
         service: AsyncQueryService,
         worker_id: int,
         index: int,
         document,
         chunk_size: int,
     ) -> ServedDocument:
-        shared_pass = service.open_pass(chunk_size=chunk_size)
+        obs = self.obs
+        tracing = obs is not None and obs.tracer is not None
+        trace_id = new_trace_id() if tracing else None
+        shard_span = (
+            obs.tracer.span(
+                "pool.shard", trace_id=trace_id, worker=worker_id, index=index
+            )
+            if tracing
+            else None
+        )
         try:
-            await service._feed_document(shared_pass, document)
-            results = await shared_pass.finish()
-        except Exception as exc:
-            shared_pass.abort()
-            # Drop the traceback: its frames pin the document text and the
-            # aborted pass graph for the outcome's lifetime, and a serving
-            # loop may accumulate many error outcomes.
-            exc.__traceback__ = None
+            shared_pass = service.open_pass(chunk_size=chunk_size, trace_id=trace_id)
+            try:
+                await service._feed_document(shared_pass, document)
+                results = await shared_pass.finish()
+            except Exception as exc:
+                shared_pass.abort()
+                # Drop the traceback: its frames pin the document text and
+                # the aborted pass graph for the outcome's lifetime, and a
+                # serving loop may accumulate many error outcomes.
+                exc.__traceback__ = None
+                if obs is not None:
+                    obs.log(
+                        "pool.fault",
+                        worker=worker_id,
+                        index=index,
+                        error=type(exc).__name__,
+                        trace_id=trace_id,
+                    )
+                if shard_span is not None:
+                    shard_span.set(outcome="error")
+                return ServedDocument(
+                    index=index,
+                    results={},
+                    metrics=shared_pass.metrics,
+                    outcome="error",
+                    error=exc,
+                    worker=worker_id,
+                )
+            except BaseException:
+                shared_pass.abort()
+                raise
             return ServedDocument(
                 index=index,
-                results={},
+                results=results,
                 metrics=shared_pass.metrics,
-                outcome="error",
-                error=exc,
                 worker=worker_id,
             )
-        except BaseException:
-            shared_pass.abort()
-            raise
-        return ServedDocument(
-            index=index,
-            results=results,
-            metrics=shared_pass.metrics,
-            worker=worker_id,
-        )
+        finally:
+            if shard_span is not None:
+                shard_span.finish()

@@ -38,6 +38,7 @@ from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
+from repro.obs import Observability
 from repro.runtime.plan_cache import PlanCache
 from repro.service.metrics import PoolMetrics, ServiceMetrics
 from repro.service.session import RegisteredQuery
@@ -59,12 +60,18 @@ class PoolCore:
     """
 
     def __init__(self, dtd: Union[DTD, str, None], workers: int,
-                 plan_cache: Optional[PlanCache], cache_size: int):
+                 plan_cache: Optional[PlanCache], cache_size: int,
+                 obs: Optional[Observability] = None):
         if workers < 1:
             raise ValueError("a service pool needs at least one worker")
         if isinstance(dtd, str):
             dtd = parse_dtd(dtd)
         self.dtd = dtd
+        #: Optional observability hub.  The pool logs its own lifecycle
+        #: (register/unregister, fault isolation, respawns) and emits
+        #: shard-level spans; pass-level instrumentation happens wherever
+        #: the backend actually runs its passes.
+        self.obs = obs
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
         self._counter = 0
         self._serving = False
@@ -127,7 +134,12 @@ class PoolCore:
         if key is None:
             self._counter += 1
             key = f"q{self._counter}"
-        return self._mirror_register(query, key)
+        registration = self._mirror_register(query, key)
+        if self.obs is not None:
+            self.obs.log(
+                "pool.register", key=key, from_cache=registration.from_cache
+            )
+        return registration
 
     def register_all(self, queries: Iterable[str]) -> List[RegisteredQuery]:
         """Register several queries at once (autogenerated keys)."""
@@ -141,6 +153,8 @@ class PoolCore:
         if key not in self.registrations:
             raise KeyError(key)
         self._mirror_unregister(key)
+        if self.obs is not None:
+            self.obs.log("pool.unregister", key=key)
 
     # -------------------------------------------------- serve-loop guards
 
@@ -194,8 +208,9 @@ class ServiceBackedPool(PoolCore):
     """
 
     def __init__(self, dtd: Union[DTD, str, None], workers: int,
-                 plan_cache: Optional[PlanCache], cache_size: int):
-        super().__init__(dtd, workers, plan_cache, cache_size)
+                 plan_cache: Optional[PlanCache], cache_size: int,
+                 obs: Optional[Observability] = None):
+        super().__init__(dtd, workers, plan_cache, cache_size, obs=obs)
         self._services: List = []  # filled by the subclass
 
     def _mirror_register(self, query: str, key: str) -> RegisteredQuery:

@@ -94,11 +94,12 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.errors import WorkerCrashError
+from repro.obs import MemorySink, Observability, Tracer, new_trace_id
 from repro.runtime.plan_cache import PlanArtifact, PlanCache
 from repro.service.metrics import PassMetrics, ServiceMetrics
 from repro.service.pool_core import PoolCore
 from repro.service.service import QueryService, ServedDocument
-from repro.service.session import RegisteredQuery
+from repro.service.session import RegisteredQuery, record_pass_observations
 
 #: Upper bound (seconds) on one `connection.wait` — results and process
 #: deaths are both wait events, so this is a safety net against missed
@@ -172,6 +173,7 @@ def _serve_one_in_worker(
     document: Union[str, io.TextIOBase, DocumentSource],
     chunk_size: int,
     crash_marker: Optional[str],
+    trace_id: Optional[str] = None,
 ) -> ServedDocument:
     """One worker pass over one document, fault-isolated (worker side).
 
@@ -196,10 +198,10 @@ def _serve_one_in_worker(
             # document genuinely in flight, the way a segfault or OOM kill
             # would land.  Never triggers unless the pool was built with a
             # crash marker.
-            shared_pass = service.open_pass(chunk_size=chunk_size)
+            shared_pass = service.open_pass(chunk_size=chunk_size, trace_id=trace_id)
             shared_pass.feed(document[: len(document) // 2])
             os._exit(3)
-        shared_pass = service.open_pass(chunk_size=chunk_size)
+        shared_pass = service.open_pass(chunk_size=chunk_size, trace_id=trace_id)
         service._feed_document(shared_pass, document)
         results = shared_pass.finish()
     except Exception as exc:
@@ -233,6 +235,7 @@ def _worker_main(
     validate: bool,
     execution: str,
     crash_marker: Optional[str],
+    observe: bool,
     inbox,
     results,
 ) -> None:
@@ -241,13 +244,24 @@ def _worker_main(
     Top-level (not a closure) so the ``spawn`` start method can import it.
     The service compiles nothing: every plan arrives as a shipped artifact
     and is registered with ``register_compiled``.  Each served document is
-    answered with one ``("served", index, ServedDocument, compiled_here)``
-    message on this worker's own result pipe; ``compiled_here`` (the
-    worker's plan-cache miss counter) lets the parent *verify* the worker
-    never ran the optimizer.
+    answered with one ``("served", index, ServedDocument, compiled_here,
+    spans)`` message on this worker's own result pipe; ``compiled_here``
+    (the worker's plan-cache miss counter) lets the parent *verify* the
+    worker never ran the optimizer.
+
+    With ``observe`` set the worker runs its passes under an in-memory
+    tracer: pass and stage spans — carrying the trace id the parent
+    stamped into the ``doc`` message — are drained after each document and
+    shipped home in the ``served`` reply, where the parent merges them
+    into its own trace file and folds their stage durations into its
+    metrics registry.  The worker keeps no registry of its own; its
+    metric delta *is* the :class:`PassMetrics` every served document
+    already carries.
     """
     dtd = pickle.loads(dtd_blob)
-    service = QueryService(dtd, validate=validate, execution=execution)
+    span_sink = MemorySink() if observe else None
+    worker_obs = Observability(tracer=Tracer(span_sink)) if observe else None
+    service = QueryService(dtd, validate=validate, execution=execution, obs=worker_obs)
     while True:
         try:
             message = inbox.recv()
@@ -262,16 +276,18 @@ def _worker_main(
         elif kind == "unregister":
             service.unregister(message[1])
         elif kind == "doc":
-            _, index, document, chunk_size = message
+            _, index, document, chunk_size, trace_id = message
             try:
                 served = _serve_one_in_worker(
-                    service, worker_id, index, document, chunk_size, crash_marker
+                    service, worker_id, index, document, chunk_size,
+                    crash_marker, trace_id,
                 )
             except BaseException as exc:  # non-Exception: report, then die
                 results.send(("fatal", index, _sanitize_exception(exc)))
                 raise
             compiled_here = service.plan_cache.stats.misses
-            results.send(("served", index, served, compiled_here))
+            spans = span_sink.drain() if span_sink is not None else []
+            results.send(("served", index, served, compiled_here, spans))
     results.close()
 
 
@@ -279,7 +295,7 @@ class _WorkerSlot:
     """Parent-side handle of one worker process."""
 
     __slots__ = ("process", "inbox", "results", "pending", "respawns",
-                 "compiled")
+                 "compiled", "trace", "sent_at")
 
     def __init__(self):
         self.process = None
@@ -293,6 +309,12 @@ class _WorkerSlot:
         #: Optimizer runs the worker reported (must stay 0: plans are
         #: shipped, never recompiled).
         self.compiled = 0
+        #: Trace id of the in-flight document (tracing only) — kept on the
+        #: slot so a crash-respawn's spans join the document's trace.
+        self.trace: Optional[str] = None
+        #: ``(wall, perf_counter)`` stamp of the in-flight dispatch, for
+        #: the parent-side ``pool.shard`` span.
+        self.sent_at: Optional[Tuple[float, float]] = None
 
     @property
     def alive(self) -> bool:
@@ -350,9 +372,10 @@ class ProcessServicePool(PoolCore):
         cache_size: int = 128,
         execution: str = "inline",
         start_method: str = "spawn",
+        obs: Optional[Observability] = None,
         _crash_marker: Optional[str] = None,
     ):
-        super().__init__(dtd, workers, plan_cache, cache_size)
+        super().__init__(dtd, workers, plan_cache, cache_size, obs=obs)
         self.validate = validate
         self.execution = execution
         self._pipeline = OptimizerPipeline(self.dtd)
@@ -369,6 +392,12 @@ class ProcessServicePool(PoolCore):
         self._closed = False
         self._ship_count = 0
         self._ship_bytes = 0
+        # Workers trace their passes whenever the parent can use the spans:
+        # to merge into a trace file, or to fold stage durations into the
+        # registry's histograms.
+        self._observe_workers = obs is not None and (
+            obs.tracer is not None or obs.metrics is not None
+        )
 
     # ---------------------------------------------------------- back hooks
 
@@ -426,12 +455,33 @@ class ProcessServicePool(PoolCore):
 
     # ------------------------------------------------------ worker fleet
 
-    def _ship(self, slot: _WorkerSlot, key: str, artifact: PlanArtifact) -> None:
+    def _ship(
+        self,
+        slot: _WorkerSlot,
+        key: str,
+        artifact: PlanArtifact,
+        trace_id: Optional[str] = None,
+    ) -> None:
+        started = time.perf_counter()
         slot.inbox.send(("register", key, artifact))
         self._ship_count += 1
         self._ship_bytes += len(artifact.payload)
+        if self.obs is not None:
+            self.obs.log(
+                "pool.ship", key=key, bytes=len(artifact.payload), trace_id=trace_id
+            )
+            # A ship span only inside a document's trace (a crash-respawn
+            # re-shipment): registration-time shipping has no trace to join.
+            if trace_id is not None:
+                self.obs.record_span(
+                    "pool.ship",
+                    trace_id,
+                    time.perf_counter() - started,
+                    key=key,
+                    bytes=len(artifact.payload),
+                )
 
-    def _spawn_slot(self, worker_id: int) -> None:
+    def _spawn_slot(self, worker_id: int, trace_id: Optional[str] = None) -> None:
         """Start (or restart) one worker process and ship it every plan."""
         slot = self._slots[worker_id]
         inbox_read, inbox_write = self._ctx.Pipe(duplex=False)
@@ -439,6 +489,8 @@ class ProcessServicePool(PoolCore):
         slot.inbox = inbox_write
         slot.results = results_read
         slot.pending = None
+        slot.trace = None
+        slot.sent_at = None
         slot.process = self._ctx.Process(
             target=_worker_main,
             args=(
@@ -447,6 +499,7 @@ class ProcessServicePool(PoolCore):
                 self.validate,
                 self.execution,
                 self._crash_marker,
+                self._observe_workers,
                 inbox_read,
                 results_write,
             ),
@@ -459,7 +512,7 @@ class ProcessServicePool(PoolCore):
         inbox_read.close()
         results_write.close()
         for key, artifact in self._artifacts.items():
-            self._ship(slot, key, artifact)
+            self._ship(slot, key, artifact, trace_id=trace_id)
 
     def _ensure_started(self) -> None:
         if self._closed:
@@ -470,16 +523,48 @@ class ProcessServicePool(PoolCore):
             self._spawn_slot(worker_id)
         self._started = True
 
-    def _respawn(self, worker_id: int) -> None:
+    def _respawn(self, worker_id: int, trace_id: Optional[str] = None) -> None:
         slot = self._slots[worker_id]
+        exitcode = slot.process.exitcode if slot.process is not None else None
+        started = time.perf_counter()
         slot.close_channels()
         slot.respawns += 1
-        self._spawn_slot(worker_id)
+        self._spawn_slot(worker_id, trace_id=trace_id)
+        if self.obs is not None:
+            self.obs.log(
+                "pool.respawn",
+                worker=worker_id,
+                exitcode=exitcode,
+                respawns=slot.respawns,
+                trace_id=trace_id,
+            )
+            if trace_id is not None:
+                # Join the crashed document's trace: the respawn (and the
+                # re-shipments inside _spawn_slot) carry its trace id.
+                self.obs.record_span(
+                    "pool.respawn",
+                    trace_id,
+                    time.perf_counter() - started,
+                    worker=worker_id,
+                    exitcode=exitcode,
+                )
 
     @property
     def worker_respawns(self) -> int:
         """How many crashed worker slots have been respawned, in total."""
         return sum(slot.respawns for slot in self._slots)
+
+    def worker_pids(self) -> Dict[int, Optional[int]]:
+        """OS pid of each live worker process (``None`` for a dead slot).
+
+        For out-of-band inspection — attaching a profiler, reading
+        ``/proc/<pid>`` accounting (the S6 overhead benchmark sums worker
+        CPU time this way).  Pids change when a crashed slot respawns.
+        """
+        return {
+            worker_id: (slot.process.pid if slot.alive else None)
+            for worker_id, slot in enumerate(self._slots)
+        }
 
     def worker_compilations(self) -> Dict[int, int]:
         """Optimizer runs each worker reported (all zero: plans are shipped).
@@ -555,14 +640,21 @@ class ProcessServicePool(PoolCore):
                         source_exhausted = True
                         break
                     document = self._shippable(document)
+                    trace_id = (
+                        new_trace_id()
+                        if self.obs is not None and self.obs.tracer is not None
+                        else None
+                    )
                     try:
-                        slot.inbox.send(("doc", index, document, chunk_size))
+                        slot.inbox.send(("doc", index, document, chunk_size, trace_id))
                     except (BrokenPipeError, OSError):
                         # Died between the liveness check and the send:
                         # hand the document to a fresh worker instead.
-                        self._respawn(idle_id)
-                        slot.inbox.send(("doc", index, document, chunk_size))
+                        self._respawn(idle_id, trace_id=trace_id)
+                        slot.inbox.send(("doc", index, document, chunk_size, trace_id))
                     slot.pending = index
+                    slot.trace = trace_id
+                    slot.sent_at = (time.time(), time.perf_counter())
                 if source_exhausted and all(
                     slot.pending is None for slot in self._slots
                 ):
@@ -615,19 +707,70 @@ class ProcessServicePool(PoolCore):
             return None
         kind = message[0]
         if kind == "served":
-            _, index, served, compiled_here = message
+            _, index, served, compiled_here, spans = message
             slot.pending = None
             slot.compiled = compiled_here
             if served.ok:
                 self._slot_metrics[worker_id].record_pass(
                     served.metrics, len(served.results)
                 )
+            self._fold_worker_observations(slot, served, spans)
+            slot.trace = None
+            slot.sent_at = None
             return served
         # "fatal": a non-Exception escaped a worker pass; propagate, like
         # the in-process pools do.
         _, index, error = message
         slot.pending = None
+        slot.trace = None
+        slot.sent_at = None
         raise error
+
+    def _fold_worker_observations(
+        self, slot: _WorkerSlot, served: ServedDocument, spans: List[Dict]
+    ) -> None:
+        """Merge one worker reply's span and metric deltas into the parent.
+
+        Worker-side spans are re-emitted into the parent's tracer — this
+        is what makes ``--trace-out`` a *single merged* trace file — and
+        their ``pass.<stage>`` durations land in the parent registry's
+        stage histograms (the worker has no registry; spans double as the
+        stage-latency delta).  The pass-counter delta is the
+        :class:`PassMetrics` the served document carries.  A parent-side
+        ``pool.shard`` span brackets the document's whole trip through
+        the pipes.
+        """
+        obs = self.obs
+        if obs is None:
+            return
+        if obs.tracer is not None:
+            for span in spans:
+                obs.tracer.emit(span)
+            if slot.trace is not None and slot.sent_at is not None:
+                sent_wall, sent_perf = slot.sent_at
+                obs.tracer.record(
+                    "pool.shard",
+                    slot.trace,
+                    time.perf_counter() - sent_perf,
+                    start=sent_wall,
+                    worker=served.worker,
+                    index=served.index,
+                )
+        if obs.metrics is not None:
+            for span in spans:
+                name = span.get("name", "")
+                if name.startswith("pass."):
+                    obs.observe_stage(name[5:], span.get("duration_s", 0.0))
+            if served.ok:
+                record_pass_observations(obs, served.metrics, len(served.results))
+        if not served.ok:
+            obs.log(
+                "pool.fault",
+                worker=served.worker,
+                index=served.index,
+                error=type(served.error).__name__,
+                trace_id=slot.trace,
+            )
 
     def _next_result(self) -> Optional[ServedDocument]:
         """One delivered outcome: a worker's result, or a detected crash.
@@ -669,8 +812,30 @@ class ProcessServicePool(PoolCore):
                     return result
                 exitcode = slot.process.exitcode
                 pending = slot.pending
-                self._respawn(worker_id)
+                trace = slot.trace
+                sent_at = slot.sent_at
+                self._respawn(worker_id, trace_id=trace)
                 if pending is not None:
+                    obs = self.obs
+                    if obs is not None:
+                        obs.log(
+                            "pool.fault",
+                            worker=worker_id,
+                            index=pending,
+                            error="WorkerCrashError",
+                            exitcode=exitcode,
+                            trace_id=trace,
+                        )
+                        if trace is not None and sent_at is not None:
+                            obs.record_span(
+                                "pool.shard",
+                                trace,
+                                time.perf_counter() - sent_at[1],
+                                start=sent_at[0],
+                                worker=worker_id,
+                                index=pending,
+                                outcome="error",
+                            )
                     return ServedDocument(
                         index=pending,
                         results={},

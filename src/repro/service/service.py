@@ -51,6 +51,7 @@ from repro.dtd.parser import parse_dtd
 from repro.dtd.schema import DTD
 from repro.engines.base import QueryResult
 from repro.errors import PassInProgressError
+from repro.obs import Observability
 from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EXECUTION_MODES
 from repro.runtime.plan_cache import PlanCache, dtd_fingerprint
@@ -59,6 +60,19 @@ from repro.service.session import RegisteredQuery, SharedPass
 
 #: Default read granularity when a pass ingests a file-like document.
 _READ_CHUNK = 1 << 16
+
+
+class _NullContext:
+    """``with`` block placeholder when no profiler is attached."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
 
 
 @dataclass
@@ -117,6 +131,14 @@ class QueryService:
         worker thread per query behind a bounded channel, the PR 1 model)
         or ``"inline"`` (re-entrant evaluations round-robined on the
         feeding thread — no worker threads, no channel hand-off).
+    obs:
+        An optional :class:`~repro.obs.Observability` hub.  With the
+        default ``None`` the service runs the pre-instrumentation code
+        paths unchanged; with a hub, passes record stage latency
+        histograms and counters into its metrics registry, emit spans to
+        its tracer, lifecycle events (register/unregister, pass
+        start/finish/abort) go to its JSON-lines logger, and its profiler
+        (if any) wraps each pass driven by :meth:`run_pass`/:meth:`serve`.
     """
 
     def __init__(
@@ -126,6 +148,7 @@ class QueryService:
         plan_cache: Optional[PlanCache] = None,
         cache_size: int = 128,
         execution: str = "threads",
+        obs: Optional[Observability] = None,
     ):
         if isinstance(dtd, str):
             dtd = parse_dtd(dtd)
@@ -136,6 +159,7 @@ class QueryService:
         self.dtd = dtd
         self.validate = validate
         self.execution = execution
+        self.obs = obs
         self.pipeline = OptimizerPipeline(dtd)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
         self.metrics = ServiceMetrics()
@@ -168,6 +192,8 @@ class QueryService:
             self.metrics.queries_replaced += 1
         self._registrations[key] = registration
         self.metrics.queries_registered += 1
+        if self.obs is not None:
+            self.obs.log("service.register", key=key, from_cache=from_cache)
         return registration
 
     def register_compiled(
@@ -201,6 +227,8 @@ class QueryService:
             self.metrics.queries_replaced += 1
         self._registrations[key] = registration
         self.metrics.queries_registered += 1
+        if self.obs is not None:
+            self.obs.log("service.register", key=key, shipped=True)
         return registration
 
     def register_all(self, queries: Iterable[str]) -> List[RegisteredQuery]:
@@ -211,6 +239,8 @@ class QueryService:
         """Remove a standing query; unknown keys raise ``KeyError``."""
         del self._registrations[key]
         self.metrics.queries_unregistered += 1
+        if self.obs is not None:
+            self.obs.log("service.unregister", key=key)
 
     @property
     def registrations(self) -> "Dict[str, RegisteredQuery]":
@@ -248,7 +278,7 @@ class QueryService:
             if current is shared_pass or current is None:
                 self._active_pass_ref = None
 
-    def open_pass(self, chunk_size: int = 256) -> SharedPass:
+    def open_pass(self, chunk_size: int = 256, trace_id: Optional[str] = None) -> SharedPass:
         """Open a push-based shared pass over one document.
 
         Feed document text with :meth:`SharedPass.feed` as it arrives and
@@ -279,6 +309,8 @@ class QueryService:
             on_complete=self.metrics.record_pass,
             execution=self.execution,
             on_close=self._pass_closed,
+            obs=self.obs,
+            trace_id=trace_id,
         )
         self._active_pass_ref = weakref.ref(shared_pass)
         return shared_pass
@@ -305,11 +337,18 @@ class QueryService:
         """
         shared_pass = self.open_pass()
         try:
-            self._feed_document(shared_pass, document)
-            return shared_pass.finish()
+            with self._maybe_profile():
+                self._feed_document(shared_pass, document)
+                return shared_pass.finish()
         except BaseException:
             shared_pass.abort()
             raise
+
+    def _maybe_profile(self):
+        """The pass profiler as a context manager, or a no-op without one."""
+        if self.obs is not None and self.obs.profiler is not None:
+            return self.obs.profiler
+        return _NULL_CONTEXT
 
     def serve(
         self,
@@ -360,8 +399,9 @@ class QueryService:
                 return
             shared_pass = self.open_pass(chunk_size=chunk_size)
             try:
-                self._feed_document(shared_pass, document)
-                results = shared_pass.finish()
+                with self._maybe_profile():
+                    self._feed_document(shared_pass, document)
+                    results = shared_pass.finish()
             except BaseException:
                 shared_pass.abort()
                 raise

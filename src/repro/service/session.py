@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 from repro.dtd.schema import DTD
 from repro.dtd.validator import StreamingValidator
 from repro.engines.base import QueryResult
+from repro.obs import Observability, new_span_id, new_trace_id
 from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EvaluatorSession
 from repro.service.dispatcher import PlanProfile, SharedDispatcher, SharedProjectionIndex
@@ -28,6 +29,46 @@ from repro.xmlstream.parser import StreamingXMLParser
 
 #: Engine label stamped on results produced by a shared pass.
 SHARED_ENGINE_NAME = "flux-shared"
+
+#: The pass stage taxonomy, in pipeline order.
+PASS_STAGES = ("parse", "route", "dispatch", "evaluate", "emit")
+
+
+def record_pass_observations(
+    obs: Optional[Observability], pass_metrics: PassMetrics, results: int
+) -> None:
+    """Push one finished pass's counters into the metrics registry.
+
+    Shared by :meth:`SharedPass.finish` (passes that run where the
+    registry lives) and the :class:`~repro.service.process_pool
+    .ProcessServicePool` parent, which calls it with the
+    :class:`PassMetrics` each worker ships home — the "metric deltas"
+    folding that keeps one registry describing the whole fleet.
+    """
+    if obs is None or obs.metrics is None:
+        return
+    registry = obs.metrics
+    registry.counter(
+        "repro_passes_total", "Shared passes completed."
+    ).inc()
+    registry.counter(
+        "repro_results_total", "Per-query results produced by shared passes."
+    ).inc(results)
+    registry.counter(
+        "repro_document_bytes_total", "Document bytes ingested by shared passes."
+    ).inc(pass_metrics.document_bytes)
+    events = registry.counter(
+        "repro_events_total", "Parser events by routing outcome."
+    )
+    events.inc(pass_metrics.events_forwarded, outcome="forwarded")
+    events.inc(pass_metrics.events_pruned, outcome="pruned")
+    events.inc(pass_metrics.text_events_dropped, outcome="text_dropped")
+    registry.counter(
+        "repro_subtrees_pruned_total", "Whole subtrees skipped by the shared router."
+    ).inc(pass_metrics.subtrees_pruned)
+    registry.histogram(
+        "repro_pass_duration_seconds", "End-to-end duration of one shared pass."
+    ).observe(pass_metrics.elapsed_seconds)
 
 
 class RegisteredQuery:
@@ -117,6 +158,8 @@ class SharedPass:
         on_complete=None,
         execution: str = "threads",
         on_close=None,
+        obs: Optional[Observability] = None,
+        trace_id: Optional[str] = None,
     ):
         if not registrations:
             raise ValueError("a shared pass needs at least one registered query")
@@ -125,6 +168,30 @@ class SharedPass:
         self._aborted = False
         self._closed = False
         self._on_close = on_close
+        # Observability is decided once here, never per event: with obs off
+        # (the default) feed/finish run the original untimed code path.
+        self._obs = obs
+        self._times: Optional[Dict[str, float]] = (
+            {stage: 0.0 for stage in PASS_STAGES}
+            if obs is not None and obs.timing_enabled
+            else None
+        )
+        self.trace_id = (
+            (trace_id or new_trace_id())
+            if obs is not None and obs.tracer is not None
+            else trace_id
+        )
+        #: Span id of this pass's span — stage spans and pool spans parent
+        #: to it.  Minted eagerly; the span itself is emitted at finish.
+        self.span_id = new_span_id() if self.trace_id is not None else None
+        self._start_wall = time.time()
+        if obs is not None:
+            obs.log(
+                "pass.start",
+                trace_id=self.trace_id,
+                queries=len(self._registrations),
+                execution=execution,
+            )
         self._results: Optional[Dict[str, QueryResult]] = None
         self._runs: List[_QueryRun] = []
         try:
@@ -166,23 +233,45 @@ class SharedPass:
         # len(text) counts characters; the reported metric is bytes.
         self._metrics.document_bytes += len(text.encode("utf-8"))
         try:
-            self._dispatcher.dispatch(self._parser.feed(text))
+            if self._times is None:
+                self._dispatcher.dispatch(self._parser.feed(text))
+            else:
+                self._dispatch_timed(text)
         except BaseException:
             self.abort()
             raise
+
+    def _dispatch_timed(self, text: Optional[str]) -> None:
+        """One timed feed (or, with ``text=None``, the closing feed).
+
+        Parsing is materialized so its time separates from routing; the
+        dispatcher's timed twin splits the rest.  Only entered when
+        metrics or tracing are on.
+        """
+        times = self._times
+        started = time.perf_counter()
+        events = list(self._parser.feed(text) if text is not None else self._parser.close())
+        times["parse"] += time.perf_counter() - started
+        self._dispatcher.dispatch_timed(events, times)
 
     def finish(self) -> Dict[str, QueryResult]:
         """Close the input and return one result per registered query."""
         if self._aborted:
             raise ValueError("finish() on an aborted pass")
         if self._results is None:
+            times = self._times
             try:
-                self._dispatcher.dispatch(self._parser.close())
-                self._dispatcher.flush()
+                if times is None:
+                    self._dispatcher.dispatch(self._parser.close())
+                    self._dispatcher.flush()
+                else:
+                    self._dispatch_timed(None)
+                    self._dispatcher.flush_timed(times)
             except BaseException:
                 self.abort()
                 raise
             results: Dict[str, QueryResult] = {}
+            emit_started = time.perf_counter()
             try:
                 for run in self._runs:
                     results[run.registration.key] = run.result()
@@ -190,13 +279,51 @@ class SharedPass:
             except BaseException:
                 self.abort()
                 raise
+            if times is not None:
+                times["emit"] += time.perf_counter() - emit_started
             self._metrics.elapsed_seconds = time.perf_counter() - self._started_at
             self._index.finalize_metrics()
             self._results = results
             if self._on_complete is not None:
                 self._on_complete(self._metrics, len(results))
+            self._observe_finish(len(results))
             self._close()
         return self._results
+
+    def _observe_finish(self, results: int) -> None:
+        """Emit the finished pass's metrics, spans, and log event."""
+        obs = self._obs
+        if obs is None:
+            return
+        times = self._times
+        if times is not None:
+            for stage, duration in times.items():
+                obs.observe_stage(stage, duration)
+        record_pass_observations(obs, self._metrics, results)
+        if obs.tracer is not None and self.trace_id is not None:
+            for stage in PASS_STAGES:
+                obs.tracer.record(
+                    f"pass.{stage}",
+                    self.trace_id,
+                    times[stage],
+                    parent_id=self.span_id,
+                )
+            obs.tracer.record(
+                "pass",
+                self.trace_id,
+                self._metrics.elapsed_seconds,
+                span_id=self.span_id,
+                start=self._start_wall,
+                queries=self._metrics.queries,
+                parser_events=self._metrics.parser_events,
+            )
+        obs.log(
+            "pass.finish",
+            trace_id=self.trace_id,
+            results=results,
+            parser_events=self._metrics.parser_events,
+            elapsed_seconds=self._metrics.elapsed_seconds,
+        )
 
     def abort(self) -> None:
         """Tear down all per-query sessions, discarding partial output.
@@ -204,9 +331,15 @@ class SharedPass:
         Idempotent, callable from any state (including mid-construction);
         the first call releases the pass's slot on the owning service.
         """
+        first = not self._aborted
         self._aborted = True
         for run in self._runs:
             run.session.abort()
+        if first and self._results is None and self._obs is not None:
+            try:
+                self._obs.log("pass.abort", trace_id=self.trace_id)
+            except Exception:  # never let logging break teardown
+                pass
         self._close()
 
     def _close(self) -> None:

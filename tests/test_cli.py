@@ -477,6 +477,143 @@ class TestMultiPlanCacheFile:
         assert "snapshot" in capsys.readouterr().err
 
 
+class TestObservabilityFlags:
+    """`multi --metrics-out/--trace-out/--log-json/--profile` and `stats`."""
+
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+    @pytest.fixture
+    def documents(self, files):
+        paths = []
+        for index in range(2):
+            path = files["dir"] / f"doc{index}.xml"
+            path.write_text(
+                "<bib><book><title>T%d</title><author>A</author>"
+                "<publisher>P</publisher><price>%d.00</price></book></bib>"
+                % (index, index)
+            )
+            paths.append(str(path))
+        return paths
+
+    def test_metrics_out_writes_json_and_prometheus(
+        self, files, query_dir, documents, capsys
+    ):
+        import json as json_module
+
+        from repro.obs.validate import validate_prometheus_text
+
+        metrics = files["dir"] / "metrics.json"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+                          "--metrics-out", str(metrics)])
+        assert exit_code == 0
+        snapshot = json_module.loads(metrics.read_text())
+        assert snapshot["repro_passes_total"]["values"][0]["value"] == 2
+        assert "repro_stage_duration_seconds" in snapshot
+        assert "repro_plan_cache_misses" in snapshot
+        assert "repro_service_passes_completed" in snapshot
+        prom = (files["dir"] / "metrics.json.prom").read_text()
+        assert validate_prometheus_text(prom) == []
+        assert "# TYPE repro_passes_total counter" in prom
+
+    def test_trace_out_writes_one_trace_per_document(
+        self, files, query_dir, documents, capsys
+    ):
+        import json as json_module
+
+        from repro.obs.validate import TRACE_KEYS, validate_json_lines
+
+        trace = files["dir"] / "trace.jsonl"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+                          "--trace-out", str(trace)])
+        assert exit_code == 0
+        lines = trace.read_text().splitlines()
+        assert validate_json_lines(lines, TRACE_KEYS) == []
+        spans = [json_module.loads(line) for line in lines]
+        assert len({span["trace_id"] for span in spans}) == 2
+        assert {span["name"] for span in spans} >= {"pass", "pass.route"}
+
+    def test_log_json_file_and_stderr(self, files, query_dir, documents, capsys):
+        from repro.obs.validate import LOG_KEYS, validate_json_lines
+
+        events = files["dir"] / "events.jsonl"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+                          "--log-json", str(events)])
+        assert exit_code == 0
+        lines = events.read_text().splitlines()
+        assert validate_json_lines(lines, LOG_KEYS) == []
+        capsys.readouterr()
+        # Bare --log-json goes to stderr instead.
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+                          "--log-json"])
+        assert exit_code == 0
+        assert '"event": "pass.finish"' in capsys.readouterr().err
+
+    def test_profile_prints_per_stage_report(
+        self, files, query_dir, documents, capsys
+    ):
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+                          "--profile"])
+        assert exit_code == 0
+        err = capsys.readouterr().err
+        assert "per-stage profile (2 pass(es) profiled)" in err
+        assert "parse" in err
+
+    def test_obs_flags_work_with_the_pool_backends(
+        self, files, query_dir, documents, capsys
+    ):
+        import json as json_module
+
+        metrics = files["dir"] / "pool_metrics.json"
+        trace = files["dir"] / "pool_trace.jsonl"
+        exit_code = main(["multi", "-Q", str(query_dir), "-D", *documents,
+                          "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+                          "-w", "2", "--metrics-out", str(metrics),
+                          "--trace-out", str(trace)])
+        assert exit_code == 0
+        snapshot = json_module.loads(metrics.read_text())
+        assert "repro_pool_documents_served" in snapshot
+        spans = [json_module.loads(l) for l in trace.read_text().splitlines()]
+        assert "pool.shard" in {span["name"] for span in spans}
+
+    def test_stats_pretty_prints_a_snapshot(
+        self, files, query_dir, documents, capsys
+    ):
+        metrics = files["dir"] / "metrics.json"
+        main(["multi", "-Q", str(query_dir), "-D", *documents,
+              "-d", files["dtd"], "-O", str(files["dir"] / "out"),
+              "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        exit_code = main(["stats", str(metrics)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "repro_passes_total (counter)" in captured.out
+        assert "p50=" in captured.out
+
+    def test_stats_rejects_non_snapshot_files(self, files, capsys):
+        bogus = files["dir"] / "bogus.json"
+        bogus.write_text("not json at all")
+        assert main(["stats", str(bogus)]) == 2
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+    def test_explain_prints_optimizer_timings(self, files, capsys):
+        exit_code = main(["explain", "-q", files["query"], "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "== Optimizer timings ==" in captured.out
+        for stage in ("parse", "normalize", "optimize", "schedule", "safety", "total"):
+            assert stage in captured.out
+
+
 class TestCompareCommand:
     def test_compare_prints_tables(self, files, capsys):
         exit_code = main(["compare", "-q", files["query"], "-i", files["document"],

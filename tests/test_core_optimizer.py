@@ -16,6 +16,15 @@ class TestPipeline:
         assert result.is_safe
         assert result.optimize_seconds >= 0
 
+    def test_compile_records_per_stage_timings(self, paper_dtd, paper_q3):
+        result = compile_xquery(paper_q3, paper_dtd)
+        assert set(result.stage_seconds) == {
+            "parse", "normalize", "optimize", "schedule", "safety"
+        }
+        assert all(seconds >= 0 for seconds in result.stage_seconds.values())
+        # The stages partition compile(): their sum cannot exceed the total.
+        assert sum(result.stage_seconds.values()) <= result.optimize_seconds
+
     def test_compile_accepts_dtd_text(self, paper_q3):
         from tests.conftest import PAPER_FIGURE1_DTD
 
