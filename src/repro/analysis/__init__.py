@@ -1,0 +1,162 @@
+"""In-repo static analysis: the ``repro lint`` suite.
+
+The paper's contribution is static analysis of queries before any data
+flows; this package applies the same discipline to the reproduction's
+own implementation.  Four project-specific checkers run over
+``src/repro`` (all stdlib, :mod:`ast`-based — see the module docstrings
+for the rule details and finding codes):
+
+* :class:`~repro.analysis.lock_discipline.LockDisciplineChecker`
+  (``LD0xx``) — guarded-by lock discipline for the serving stack.
+* :class:`~repro.analysis.hot_loop.HotLoopChecker` (``HL0xx``) —
+  allocation/lookup/isinstance/try purity of ``# hot-loop`` functions.
+* :class:`~repro.analysis.async_blocking.AsyncBlockingChecker`
+  (``AB0xx``) — no blocking calls inside ``async def``.
+* :class:`~repro.analysis.pickle_safety.PickleSafetyChecker`
+  (``PS0xx``) — every type reachable from the shipped plan pickles.
+
+Entry points: :func:`run_lint` (programmatic), ``repro lint`` (CLI),
+both honouring the committed baseline (``scripts/lint_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.async_blocking import AsyncBlockingChecker
+from repro.analysis.core import (
+    BASELINE_VERSION,
+    Checker,
+    Finding,
+    Fingerprint,
+    SourceFile,
+    apply_baseline,
+    iter_python_files,
+    load_baseline,
+    run_checkers,
+    write_baseline,
+)
+from repro.analysis.hot_loop import HotLoopChecker
+from repro.analysis.lock_discipline import LockDisciplineChecker
+from repro.analysis.pickle_safety import PickleSafetyChecker
+
+__all__ = [
+    "AsyncBlockingChecker",
+    "BASELINE_VERSION",
+    "Checker",
+    "Finding",
+    "Fingerprint",
+    "HotLoopChecker",
+    "LintResult",
+    "LockDisciplineChecker",
+    "PickleSafetyChecker",
+    "SourceFile",
+    "all_codes",
+    "apply_baseline",
+    "default_checkers",
+    "default_lint_root",
+    "iter_python_files",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_checkers",
+    "run_lint",
+    "write_baseline",
+]
+
+
+def default_checkers() -> List[Checker]:
+    """Fresh instances of the four project checkers (single-run objects)."""
+    return [
+        LockDisciplineChecker(),
+        HotLoopChecker(),
+        AsyncBlockingChecker(),
+        PickleSafetyChecker(),
+    ]
+
+
+def all_codes() -> Dict[str, str]:
+    """Every documented finding code mapped to its one-line description."""
+    codes: Dict[str, str] = {}
+    for checker in default_checkers():
+        codes.update(checker.codes)
+    return codes
+
+
+def default_lint_root() -> str:
+    """The installed ``repro`` package directory (what ``repro lint`` scans)."""
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class LintResult:
+    """Outcome of one lint run: findings split against the baseline."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        suppressed: int,
+        errors: List[str],
+    ) -> None:
+        self.findings = findings
+        self.suppressed = suppressed
+        self.errors = errors
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def failing(self, fail_on: Optional[Set[str]]) -> List[Finding]:
+        """The findings that should fail the run (``None`` means all)."""
+        if fail_on is None:
+            return list(self.findings)
+        return [f for f in self.findings if f.code in fail_on]
+
+
+def run_lint(
+    paths: Sequence[str],
+    baseline_path: Optional[str] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> LintResult:
+    """Run the suite over ``paths``, subtracting the baseline if given."""
+    findings, errors = run_checkers(list(paths), list(checkers or default_checkers()))
+    suppressed = 0
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        findings, suppressed = apply_baseline(findings, baseline)
+    return LintResult(findings, suppressed, errors)
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    summary = f"{len(result.findings)} finding(s)"
+    if result.suppressed:
+        summary += f", {result.suppressed} baselined"
+    if result.errors:
+        summary += f", {len(result.errors)} file(s) failed to parse"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "checker": f.checker,
+            }
+            for f in result.findings
+        ],
+        "suppressed": result.suppressed,
+        "errors": list(result.errors),
+        "summary": {"findings": len(result.findings)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,157 @@
+"""Async-blocking checker (``AB0xx``).
+
+The asyncio front end (``service/async_service.py``, the asyncio pool in
+``service/pool.py``) must never block the event loop: one synchronous
+``time.sleep`` or pipe ``recv`` stalls *every* document being served.
+This checker flags, inside any ``async def``:
+
+* ``AB001`` — ``time.sleep`` (or a bare ``sleep`` imported from
+  :mod:`time`).
+* ``AB002`` — blocking pipe/socket waits: ``.recv()``, ``.recv_bytes()``,
+  ``.poll()`` (the :class:`multiprocessing.connection.Connection` API).
+* ``AB003`` — synchronous file I/O: ``open()`` / ``io.open()`` and
+  ``.read()`` / ``.readline()`` / ``.readinto()`` / ``.write()`` /
+  ``.flush()`` calls.
+* ``AB004`` — a bare ``.acquire()`` (a threading lock blocks the loop;
+  an :class:`asyncio.Lock` is awaited, which the checker recognises and
+  allows).
+
+Calls that are directly awaited are exempt (``await lock.acquire()`` is
+the asyncio API, not a block), as is anything inside a nested *sync*
+``def`` (it runs wherever the caller runs it — usually an executor).
+``# async-ok: <reason>`` on the line suppresses a finding; the reason is
+mandatory (``AB005`` otherwise).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, SourceFile
+
+_BLOCKING_METHODS = {
+    "recv": "AB002",
+    "recv_bytes": "AB002",
+    "poll": "AB002",
+    "read": "AB003",
+    "readline": "AB003",
+    "readinto": "AB003",
+    "write": "AB003",
+    "flush": "AB003",
+    "acquire": "AB004",
+}
+
+
+def _call_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _dotted(func: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class AsyncBlockingChecker(Checker):
+    name = "async-blocking"
+    codes = {
+        "AB001": "time.sleep inside async def",
+        "AB002": "blocking Connection recv/poll inside async def",
+        "AB003": "synchronous file I/O inside async def",
+        "AB004": "bare lock acquire inside async def",
+        "AB005": "async-ok annotation is missing its reason",
+    }
+
+    def check(self, module: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        sleep_is_time = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "time"
+            and any(alias.name == "sleep" for alias in node.names)
+            for node in module.tree.body
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                self._check_async_def(module, node, sleep_is_time, findings)
+        return findings
+
+    def _check_async_def(
+        self,
+        module: SourceFile,
+        node: ast.AsyncFunctionDef,
+        sleep_is_time: bool,
+        findings: List[Finding],
+    ) -> None:
+        awaited: Set[int] = set()
+
+        def scan(current: ast.AST) -> None:
+            if isinstance(current, (ast.FunctionDef, ast.Lambda)):
+                return  # nested sync code runs elsewhere (executor, thread)
+            if isinstance(current, ast.AsyncFunctionDef):
+                return  # nested coroutine: checked by its own walk visit
+            if isinstance(current, ast.Await):
+                if isinstance(current.value, ast.Call):
+                    awaited.add(id(current.value))
+                scan(current.value)
+                return
+            if isinstance(current, ast.Call):
+                self._check_call(module, current, id(current) in awaited, sleep_is_time, findings)
+            for child in ast.iter_child_nodes(current):
+                scan(child)
+
+        for stmt in node.body:
+            scan(stmt)
+
+    def _check_call(
+        self,
+        module: SourceFile,
+        call: ast.Call,
+        is_awaited: bool,
+        sleep_is_time: bool,
+        findings: List[Finding],
+    ) -> None:
+        if is_awaited:
+            return
+        dotted = _dotted(call.func)
+        name = _call_name(call.func)
+        code: Optional[str] = None
+        what = ""
+        if dotted == "time.sleep" or (name == "sleep" and sleep_is_time and dotted == "sleep"):
+            code, what = "AB001", "time.sleep() blocks the event loop"
+        elif dotted in ("open", "io.open"):
+            code, what = "AB003", f"{dotted}() is synchronous file I/O"
+        elif name in _BLOCKING_METHODS and isinstance(call.func, ast.Attribute):
+            code = _BLOCKING_METHODS[name]
+            if code == "AB002":
+                what = f".{name}() blocks on the pipe"
+            elif code == "AB003":
+                what = f".{name}() is synchronous I/O"
+            else:
+                what = f".{name}() without await blocks the event loop"
+        if code is None:
+            return
+        line = call.lineno
+        reason = module.annotation_near(line, "async-ok")
+        if reason is not None and reason:
+            return
+        if reason is not None:
+            findings.append(
+                self.finding(
+                    "AB005",
+                    module.path,
+                    line,
+                    "'# async-ok:' needs a reason stating why the call cannot block",
+                )
+            )
+        findings.append(self.finding(code, module.path, line, what))

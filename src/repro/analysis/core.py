@@ -1,0 +1,240 @@
+"""Shared core of the in-repo static-analysis suite.
+
+The suite mirrors the paper's own method — static analysis ahead of
+execution — but points it at the *implementation*: the lock-heavy serving
+stack, the per-event routing hot loop, the asyncio front end, and the
+pickled plan artifacts.  Everything here is stdlib-only (:mod:`ast` +
+:mod:`tokenize`) so ``repro lint`` runs in any environment the tests run
+in.
+
+Building blocks
+---------------
+
+* :class:`Finding` — one diagnostic: ``code`` (stable, documented),
+  ``path`` (relative to the scanned root), ``line``, ``message``.
+* :class:`SourceFile` — a parsed module: source text, AST, and the
+  per-line comment map the annotation syntax is read from.
+* :class:`Checker` — base class; per-module :meth:`Checker.check` plus an
+  optional cross-module :meth:`Checker.finalize` (used by the
+  pickle-safety checker, which needs the whole class graph).
+* Baseline files — JSON lists of finding fingerprints ``(code, path,
+  message)``; line numbers are deliberately not part of the fingerprint
+  so unrelated edits do not invalidate a baseline.
+
+Annotation syntax (written in source comments, read by the checkers):
+
+``# guarded-by: <lock>``
+    Declares the field assigned on this line as guarded by ``self.<lock>``.
+``# unguarded: <reason>``
+    Suppresses lock-discipline findings on this line (or, on a ``def``
+    line, for the whole method).  The reason is mandatory.
+``# hot-loop``
+    Marks a function for the hot-loop purity checker.
+``# hot-loop-ok: <reason>``
+    Suppresses hot-loop findings on this line.  The reason is mandatory.
+``# async-ok: <reason>``
+    Suppresses async-blocking findings on this line.  The reason is
+    mandatory.
+``# pickle-ok: <reason>``
+    Suppresses pickle-safety findings for the class defined on this line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Fingerprint of a finding as stored in baseline files (line-independent).
+Fingerprint = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a checker."""
+
+    code: str
+    path: str
+    line: int
+    message: str
+    checker: str
+
+    @property
+    def fingerprint(self) -> Fingerprint:
+        return (self.code, self.path, self.message)
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (self.path, self.line, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message} [{self.checker}]"
+
+
+_ANNOTATION = re.compile(r"#\s*(?P<name>[a-z][a-z0-9-]*)\b(?::\s*(?P<value>.*?))?\s*(?:#|$)")
+
+
+class SourceFile:
+    """A parsed Python module plus its per-line comment map."""
+
+    def __init__(self, path: str, relpath: str, source: str, tree: ast.Module):
+        self.abspath = path
+        self.path = relpath
+        self.source = source
+        self.tree = tree
+        self.comments: Dict[int, str] = {}
+        #: Lines that hold *only* a comment (no code before the ``#``).
+        self.own_line_comments: Set[int] = set()
+        lines = source.splitlines()
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(source).readline):
+                if token.type == tokenize.COMMENT:
+                    row, col = token.start
+                    self.comments[row] = token.string
+                    if row <= len(lines) and not lines[row - 1][:col].strip():
+                        self.own_line_comments.add(row)
+        except tokenize.TokenError:
+            # ast.parse accepted the file; a tokenize hiccup only costs
+            # annotations, not the analysis itself.
+            pass
+
+    @classmethod
+    def parse(cls, path: str, relpath: str) -> "SourceFile":
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+        return cls(path, relpath, source, tree)
+
+    def annotation(self, line: int, name: str) -> Optional[str]:
+        """The value of annotation ``name`` on ``line``.
+
+        Returns ``None`` when the annotation is absent, ``""`` for a bare
+        marker (``# hot-loop``), and the reason text otherwise.
+        """
+        comment = self.comments.get(line)
+        if comment is None:
+            return None
+        for match in _ANNOTATION.finditer(comment):
+            if match.group("name") == name:
+                return (match.group("value") or "").strip()
+        return None
+
+    def annotation_near(self, line: int, name: str) -> Optional[str]:
+        """Like :meth:`annotation`, also accepting a comment-only line
+        directly above (for statements too long to carry a trailing
+        comment).  A *trailing* comment never leaks onto the next line."""
+        value = self.annotation(line, name)
+        if value is None and (line - 1) in self.own_line_comments:
+            value = self.annotation(line - 1, name)
+        return value
+
+    def has_marker(self, line: int, name: str) -> bool:
+        return self.annotation(line, name) is not None
+
+
+class Checker:
+    """Base class for the four project checkers."""
+
+    name: str = ""
+    #: code -> one-line description (documented in docs/ARCHITECTURE.md).
+    codes: Dict[str, str] = {}
+
+    def check(self, module: SourceFile) -> List[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> List[Finding]:
+        """Cross-module findings, emitted after every module was checked."""
+        return []
+
+    def finding(self, code: str, module_path: str, line: int, message: str) -> Finding:
+        if code not in self.codes:
+            raise ValueError(f"{self.name}: unknown finding code {code}")
+        return Finding(code=code, path=module_path, line=line, message=message, checker=self.name)
+
+
+def iter_python_files(root: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(abspath, relpath)`` for every ``.py`` file under ``root``.
+
+    ``root`` may also be a single file, in which case ``relpath`` is its
+    basename.  Relative paths always use ``/`` separators so baselines
+    are portable across platforms.
+    """
+    if os.path.isfile(root):
+        yield root, os.path.basename(root)
+        return
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            abspath = os.path.join(dirpath, filename)
+            rel = os.path.relpath(abspath, root).replace(os.sep, "/")
+            yield abspath, rel
+
+
+def run_checkers(
+    paths: Sequence[str], checkers: Sequence[Checker]
+) -> Tuple[List[Finding], List[str]]:
+    """Run ``checkers`` over every Python file under ``paths``.
+
+    Returns the sorted findings plus the list of files that failed to
+    parse (reported, not fatal: a syntax error elsewhere should not hide
+    the findings in files that do parse).
+    """
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for root in paths:
+        for abspath, relpath in iter_python_files(root):
+            try:
+                module = SourceFile.parse(abspath, relpath)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                errors.append(f"{relpath}: {exc}")
+                continue
+            for checker in checkers:
+                findings.extend(checker.check(module))
+    for checker in checkers:
+        findings.extend(checker.finalize())
+    findings.sort(key=Finding.sort_key)
+    return findings, errors
+
+
+# ------------------------------------------------------------------ baseline
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[Fingerprint]:
+    """Load the fingerprints of a committed baseline file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} lint baseline")
+    fingerprints: Set[Fingerprint] = set()
+    for entry in payload.get("findings", []):
+        fingerprints.add((str(entry["code"]), str(entry["path"]), str(entry["message"])))
+    return fingerprints
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> None:
+    """Write ``findings`` as a baseline file (suppressing them in future runs)."""
+    entries = [
+        {"code": f.code, "path": f.path, "message": f.message}
+        for f in sorted(findings, key=Finding.sort_key)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Set[Fingerprint]
+) -> Tuple[List[Finding], int]:
+    """Split ``findings`` into (new, suppressed-count) against ``baseline``."""
+    fresh = [f for f in findings if f.fingerprint not in baseline]
+    return fresh, len(findings) - len(fresh)

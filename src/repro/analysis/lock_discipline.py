@@ -1,0 +1,281 @@
+"""Lock-discipline checker (``LD0xx``), guarded-by style.
+
+For every class, the checker infers the set of *guarded fields*: instance
+attributes assigned inside a ``with self.<lock>:`` block (any ``self``
+attribute used as a with-context counts as a lock; so does an attribute
+whose ``.acquire()``/``.release()`` is called).  Every later read or write
+of a guarded field must then happen while that same lock is held —
+anything else is a potential race and is flagged, in the style of classic
+guarded-by race detectors.
+
+Escape hatches, in source comments:
+
+* ``# guarded-by: <lock>`` on an assignment line declares the guarding
+  lock explicitly (useful in ``__init__``, which establishes fields
+  before there is any concurrency).
+* ``# unguarded: <reason>`` on an access line — or on the ``def`` line,
+  for a whole method — states why the unlocked access is benign (single
+  driver thread, caller holds the lock, ...).  The reason is mandatory;
+  a bare ``# unguarded`` is itself a finding.
+
+Conventions honoured without annotation:
+
+* ``__init__`` / ``__post_init__`` / ``__new__`` construct the object
+  before it is shared; they are never flagged.
+* Methods whose name ends in ``_locked`` are, by convention, only called
+  with the lock already held.
+* Code inside a nested function or lambda is treated as running with *no*
+  lock held (closures escape to other threads in this codebase).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, SourceFile
+
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+
+@dataclass(frozen=True)
+class _Access:
+    field: str
+    line: int
+    store: bool
+    held: FrozenSet[str]
+    method: str
+    suppressed: bool
+    guarded_by: Optional[str]
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+#: Methods that mutate a container in place: calling one on ``self.X``
+#: counts as a *write* of ``X`` for guarded-field inference.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "add",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _self_base(node: ast.expr) -> Optional[str]:
+    """The ``X`` in ``self.X[...] .y[...]`` — the self attribute a chain roots at."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        direct = _self_attr(node) if isinstance(node, ast.Attribute) else None
+        if direct is not None:
+            return direct
+        node = node.value
+    return None
+
+
+class _ClassScanner:
+    """Collect lock regions and ``self.X`` accesses for one class body."""
+
+    def __init__(self, module: SourceFile, class_node: ast.ClassDef):
+        self.module = module
+        self.class_node = class_node
+        self.locks: Set[str] = set()
+        self.accesses: List[_Access] = []
+        self.suppressed_methods: Set[str] = set()
+        self.bare_unguarded: Set[int] = set()
+
+    def scan(self) -> None:
+        for stmt in self.class_node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                reason = self.module.annotation(stmt.lineno, "unguarded")
+                if reason is not None:
+                    if not reason:
+                        self.bare_unguarded.add(stmt.lineno)
+                    self.suppressed_methods.add(stmt.name)
+                self._scan_node(stmt, frozenset(), stmt.name, toplevel=True)
+
+    def _scan_node(
+        self, node: ast.AST, held: FrozenSet[str], method: str, toplevel: bool = False
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and not toplevel:
+            # A nested function escapes the lock region: its body may run
+            # on another thread, after the with-block exits.
+            for child in ast.iter_child_nodes(node):
+                self._scan_node(child, frozenset(), method)
+            return
+        if isinstance(node, ast.Lambda):
+            self._scan_node(node.body, frozenset(), method)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set(held)
+            for item in node.items:
+                self._scan_node(item.context_expr, held, method)
+                if item.optional_vars is not None:
+                    self._scan_node(item.optional_vars, held, method)
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    acquired.add(lock)
+                    self.locks.add(lock)
+            inner = frozenset(acquired)
+            for stmt in node.body:
+                self._scan_node(stmt, inner, method)
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("acquire", "release"):
+                    lock = _self_attr(func.value)
+                    if lock is not None:
+                        self.locks.add(lock)
+                elif func.attr in _MUTATORS:
+                    base = _self_base(func.value)
+                    if base is not None:
+                        self._record(base, func.value.lineno, True, held, method)
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            base = _self_base(node)
+            if base is not None:
+                self._record(base, node.lineno, True, held, method)
+        if isinstance(node, ast.Attribute):
+            field = _self_attr(node)
+            if field is not None:
+                self._record(
+                    field, node.lineno, isinstance(node.ctx, (ast.Store, ast.Del)), held, method
+                )
+                return
+        for child in ast.iter_child_nodes(node):
+            self._scan_node(child, held, method)
+
+    def _record(
+        self, field: str, line: int, store: bool, held: FrozenSet[str], method: str
+    ) -> None:
+        reason = self.module.annotation_near(line, "unguarded")
+        if reason is not None and not reason:
+            self.bare_unguarded.add(line)
+        self.accesses.append(
+            _Access(
+                field=field,
+                line=line,
+                store=store,
+                held=held,
+                method=method,
+                suppressed=reason is not None,
+                guarded_by=self.module.annotation_near(line, "guarded-by"),
+            )
+        )
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    codes = {
+        "LD001": "guarded field accessed without its lock held",
+        "LD002": "guarded field accessed under a different lock",
+        "LD003": "guarded-by annotation names a lock the class never takes",
+        "LD004": "unguarded annotation is missing its reason",
+    }
+
+    def check(self, module: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: SourceFile, node: ast.ClassDef) -> List[Finding]:
+        scanner = _ClassScanner(module, node)
+        scanner.scan()
+        findings: List[Finding] = []
+        for line in sorted(scanner.bare_unguarded):
+            findings.append(
+                self.finding(
+                    "LD004",
+                    module.path,
+                    line,
+                    f"{node.name}: '# unguarded:' needs a reason stating why the "
+                    "unlocked access is benign",
+                )
+            )
+
+        # Guarded-field inference: declared (# guarded-by) beats inferred
+        # (assigned inside a lock region outside the constructor).
+        guards: Dict[str, Set[str]] = {}
+        declared: Set[str] = set()
+        for access in scanner.accesses:
+            if access.guarded_by is not None:
+                lock = access.guarded_by.replace("self.", "").strip()
+                if not lock:
+                    continue
+                if lock not in scanner.locks:
+                    findings.append(
+                        self.finding(
+                            "LD003",
+                            module.path,
+                            access.line,
+                            f"{node.name}.{access.field} declared guarded-by "
+                            f"self.{lock}, but the class never holds that lock",
+                        )
+                    )
+                    continue
+                guards.setdefault(access.field, set()).add(lock)
+                declared.add(access.field)
+        for access in scanner.accesses:
+            if (
+                access.store
+                and access.held
+                and access.method not in _CONSTRUCTORS
+                and access.field not in scanner.locks
+                and access.field not in declared
+            ):
+                guards.setdefault(access.field, set()).update(access.held)
+
+        seen: Set[Tuple[str, str, int]] = set()
+        for access in scanner.accesses:
+            locks = guards.get(access.field)
+            if not locks:
+                continue
+            if (
+                access.suppressed
+                or access.guarded_by is not None
+                or access.method in _CONSTRUCTORS
+                or access.method in scanner.suppressed_methods
+                or access.method.endswith("_locked")
+                or access.held & locks
+            ):
+                continue
+            verb = "written" if access.store else "read"
+            lock_names = ", ".join(f"self.{lock}" for lock in sorted(locks))
+            if access.held:
+                code = "LD002"
+                held_names = ", ".join(f"self.{lock}" for lock in sorted(access.held))
+                message = (
+                    f"{node.name}.{access.method}: self.{access.field} is guarded by "
+                    f"{lock_names} but {verb} under {held_names}"
+                )
+            else:
+                code = "LD001"
+                message = (
+                    f"{node.name}.{access.method}: self.{access.field} is guarded by "
+                    f"{lock_names} but {verb} without it"
+                )
+            key = (code, access.field, access.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(self.finding(code, module.path, access.line, message))
+        return findings

@@ -1,0 +1,283 @@
+"""Pickle-safety checker (``PS0xx``) for shipped plan artifacts.
+
+``ProcessServicePool`` ships every registered query to its workers as a
+:class:`~repro.runtime.plan_cache.PlanArtifact` whose payload is a
+pickled :class:`~repro.runtime.compiler.CompiledQueryPlan`.  A frozen
+``__slots__`` dataclass anywhere in that object graph breaks shipping at
+runtime (the default slot-state restore calls ``setattr``, which a frozen
+dataclass refuses), which is exactly how the ``dtd/model.py`` content
+particles failed before PR 5 gave them slots-aware
+``__getstate__``/``__setstate__``.  This checker makes that class of
+regression static:
+
+* The *reachable set* is computed from the roots (:data:`ROOTS`) over
+  three edge kinds: dataclass/attribute annotations (``x: ElementDecl``
+  pulls in ``ElementDecl``), base classes (their state is part of the
+  instance), and subclasses of reachable classes (an annotation naming
+  the base may carry any subclass at runtime).  Resolution is by bare
+  class name across every analyzed module — deliberately conservative.
+* ``PS001`` — a reachable frozen dataclass with ``__slots__`` (its own
+  or inherited) and no slots-aware state protocol
+  (``__getstate__`` + ``__setstate__``, or ``__reduce__`` /
+  ``__reduce_ex__``) anywhere in its ancestry.
+* ``PS002`` — a reachable class defining exactly one of
+  ``__getstate__`` / ``__setstate__`` (a mismatched pair round-trips
+  incorrectly).
+* ``PS003`` — a reachable class whose field annotation names a
+  known-unpicklable type (locks, threads, pipes, file handles,
+  generators).
+
+``# pickle-ok: <reason>`` on the ``class`` line suppresses its findings;
+the reason is mandatory (``PS004`` otherwise).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, Finding, SourceFile
+
+#: Root classes of the shipped-plan object graph.  ``PlanArtifact``'s
+#: payload is opaque bytes, so the pickled payload root
+#: (``CompiledQueryPlan``) is a root of its own.
+ROOTS: Tuple[str, ...] = ("PlanArtifact", "CompiledQueryPlan")
+
+_UNPICKLABLE_TYPES = {
+    "Lock",
+    "RLock",
+    "Event",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Thread",
+    "Connection",
+    "PipeConnection",
+    "Queue",
+    "SimpleQueue",
+    "IO",
+    "TextIO",
+    "BinaryIO",
+    "Generator",
+    "Iterator",
+    "TracebackType",
+}
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    path: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    frozen_dataclass: bool = False
+    own_slots: bool = False
+    getstate: bool = False
+    setstate: bool = False
+    reduce: bool = False
+    annotation_names: Set[str] = field(default_factory=set)
+    annotation_lines: Dict[str, int] = field(default_factory=dict)
+    pickle_ok: Optional[str] = None
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):  # Generic[T] and friends
+        return _base_name(node.value)
+    return None
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = _base_name(decorator.func)
+            if name == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "frozen"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _annotation_names(annotation: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotation ("ElementDecl"): parse it too.
+            try:
+                parsed = ast.parse(sub.value, mode="eval")
+            except SyntaxError:
+                continue
+            names.update(_annotation_names(parsed.body))
+    return names
+
+
+class PickleSafetyChecker(Checker):
+    name = "pickle-safety"
+    codes = {
+        "PS001": "plan-reachable frozen slots dataclass without a state protocol",
+        "PS002": "plan-reachable class with mismatched __getstate__/__setstate__",
+        "PS003": "plan-reachable class annotates a known-unpicklable field type",
+        "PS004": "pickle-ok annotation is missing its reason",
+    }
+
+    def __init__(self, roots: Tuple[str, ...] = ROOTS):
+        self.roots = roots
+        self._classes: Dict[str, List[_ClassInfo]] = {}
+
+    def check(self, module: SourceFile) -> List[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                self._record_class(module, node)
+        return []
+
+    def _record_class(self, module: SourceFile, node: ast.ClassDef) -> None:
+        info = _ClassInfo(name=node.name, path=module.path, line=node.lineno)
+        info.frozen_dataclass = _is_frozen_dataclass(node)
+        info.pickle_ok = module.annotation(node.lineno, "pickle-ok")
+        for base in node.bases:
+            name = _base_name(base)
+            if name is not None:
+                info.bases.append(name)
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id == "__slots__":
+                        info.own_slots = self._nonempty_slots(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if stmt.target.id == "__slots__":
+                    info.own_slots = stmt.value is None or self._nonempty_slots(stmt.value)
+                    continue
+                for name in _annotation_names(stmt.annotation):
+                    info.annotation_names.add(name)
+                    info.annotation_lines.setdefault(name, stmt.lineno)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "__getstate__":
+                    info.getstate = True
+                elif stmt.name == "__setstate__":
+                    info.setstate = True
+                elif stmt.name in ("__reduce__", "__reduce_ex__"):
+                    info.reduce = True
+        self._classes.setdefault(node.name, []).append(info)
+
+    @staticmethod
+    def _nonempty_slots(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Tuple, ast.List)):
+            return bool(value.elts)
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return bool(value.value)
+        return True  # dynamic __slots__: assume it holds names
+
+    # -------------------------------------------------------- reachability
+
+    def _reachable(self) -> Set[str]:
+        children: Dict[str, Set[str]] = {}
+        for name, infos in self._classes.items():
+            for info in infos:
+                for base in info.bases:
+                    children.setdefault(base, set()).add(name)
+        seen: Set[str] = set()
+        queue: List[str] = [root for root in self.roots if root in self._classes]
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for info in self._classes.get(name, []):
+                for edge in info.bases:
+                    if edge in self._classes and edge not in seen:
+                        queue.append(edge)
+                for edge in info.annotation_names:
+                    if edge in self._classes and edge not in seen:
+                        queue.append(edge)
+            for sub in children.get(name, ()):
+                if sub not in seen:
+                    queue.append(sub)
+        return seen
+
+    def _ancestry(self, info: _ClassInfo) -> List[_ClassInfo]:
+        out: List[_ClassInfo] = []
+        seen: Set[str] = set()
+        queue = [info.name]
+        while queue:
+            name = queue.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for candidate in self._classes.get(name, []):
+                out.append(candidate)
+                queue.extend(candidate.bases)
+        return out
+
+    def finalize(self) -> List[Finding]:
+        findings: List[Finding] = []
+        reachable = self._reachable()
+        for name in sorted(reachable):
+            for info in self._classes.get(name, []):
+                findings.extend(self._check_info(info))
+        return findings
+
+    def _check_info(self, info: _ClassInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        if info.pickle_ok is not None:
+            if not info.pickle_ok:
+                findings.append(
+                    self.finding(
+                        "PS004",
+                        info.path,
+                        info.line,
+                        f"{info.name}: '# pickle-ok:' needs a reason stating why "
+                        "pickling is safe or out of scope",
+                    )
+                )
+            return findings
+        ancestry = self._ancestry(info)
+        slotted = any(c.own_slots for c in ancestry)
+        getstate = any(c.getstate for c in ancestry)
+        setstate = any(c.setstate for c in ancestry)
+        reduce = any(c.reduce for c in ancestry)
+        if info.frozen_dataclass and slotted and not ((getstate and setstate) or reduce):
+            findings.append(
+                self.finding(
+                    "PS001",
+                    info.path,
+                    info.line,
+                    f"{info.name} is a frozen __slots__ dataclass reachable from "
+                    "the shipped plan; it needs slots-aware __getstate__/"
+                    "__setstate__ (or __reduce__) to survive pickling",
+                )
+            )
+        if getstate != setstate:
+            have, miss = ("__getstate__", "__setstate__") if getstate else ("__setstate__", "__getstate__")
+            findings.append(
+                self.finding(
+                    "PS002",
+                    info.path,
+                    info.line,
+                    f"{info.name} defines {have} without {miss}; pickled state "
+                    "will not round-trip",
+                )
+            )
+        for type_name in sorted(info.annotation_names & _UNPICKLABLE_TYPES):
+            findings.append(
+                self.finding(
+                    "PS003",
+                    info.path,
+                    info.annotation_lines.get(type_name, info.line),
+                    f"{info.name} annotates a field with unpicklable type "
+                    f"{type_name} but is reachable from the shipped plan",
+                )
+            )
+        return findings
+

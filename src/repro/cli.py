@@ -190,6 +190,47 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    """Run the in-repo static-analysis suite (``repro.analysis``)."""
+    from repro.analysis import (
+        all_codes,
+        default_lint_root,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    paths = args.paths or [default_lint_root()]
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"lint: no such file or directory: {path}", file=sys.stderr)
+            return 2
+    fail_on: Optional[set] = None
+    if args.fail_on and args.fail_on != "all":
+        fail_on = {code.strip() for code in args.fail_on.split(",") if code.strip()}
+        unknown = fail_on - set(all_codes())
+        if unknown:
+            print(f"lint: unknown finding code(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+    try:
+        result = run_lint(paths, baseline_path=args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        write_baseline(result.findings, args.write_baseline)
+        print(
+            f"lint: wrote {len(result.findings)} finding(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    print(render_json(result) if args.format == "json" else render_text(result))
+    if result.errors or result.failing(fail_on):
+        return 1
+    return 0
+
+
 def _command_compare(args: argparse.Namespace) -> int:
     query = _read(args.query)
     document = _read(args.input)
@@ -739,6 +780,43 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot", help="metrics snapshot JSON file ('-' for stdin)"
     )
     stats_parser.set_defaults(handler=_command_stats)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the in-repo static-analysis suite (lock discipline, "
+        "hot-loop purity, async blocking, pickle safety)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed "
+        "repro package)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="baseline file of accepted findings to subtract "
+        "(see scripts/lint_baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings to FILE as a new baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--fail-on",
+        metavar="CODE,...",
+        default="all",
+        help="exit nonzero only for these finding codes "
+        "(default: all — any finding fails the run)",
+    )
+    lint_parser.set_defaults(handler=_command_lint)
 
     return parser
 

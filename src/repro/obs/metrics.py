@@ -116,13 +116,13 @@ class Counter(_Metric):
         with self._lock:
             return self._values.get(_label_key(labels), 0)
 
-    def _snapshot_values(self) -> List[dict]:
+    def _snapshot_values_locked(self) -> List[dict]:
         return [
             {"labels": dict(key), "value": value}
             for key, value in sorted(self._values.items())
         ]
 
-    def _exposition(self) -> Iterable[str]:
+    def _exposition_locked(self) -> Iterable[str]:
         for key, value in sorted(self._values.items()):
             yield f"{self.name}{_format_labels(key)} {_format_value(value)}"
 
@@ -149,8 +149,8 @@ class Gauge(_Metric):
         with self._lock:
             return self._values.get(_label_key(labels), 0)
 
-    _snapshot_values = Counter._snapshot_values
-    _exposition = Counter._exposition
+    _snapshot_values_locked = Counter._snapshot_values_locked
+    _exposition_locked = Counter._exposition_locked
 
 
 class _HistogramSeries:
@@ -246,7 +246,7 @@ class Histogram(_Metric):
             series = self._series.get(_label_key(labels))
             return series.total if series is not None else 0.0
 
-    def _snapshot_values(self) -> List[dict]:
+    def _snapshot_values_locked(self) -> List[dict]:
         values = []
         for key, series in sorted(self._series.items()):
             cumulative = 0
@@ -268,7 +268,7 @@ class Histogram(_Metric):
             )
         return values
 
-    def _exposition(self) -> Iterable[str]:
+    def _exposition_locked(self) -> Iterable[str]:
         for key, series in sorted(self._series.items()):
             cumulative = 0
             for i, bound in enumerate(self.bounds):
@@ -375,7 +375,7 @@ class MetricsRegistry:
                 name: {
                     "kind": metric.kind,
                     "help": metric.help,
-                    "values": metric._snapshot_values(),
+                    "values": metric._snapshot_values_locked(),
                 }
                 for name, metric in sorted(self._metrics.items())
             }
@@ -389,7 +389,7 @@ class MetricsRegistry:
                 if metric.help:
                     lines.append(f"# HELP {name} {metric.help}")
                 lines.append(f"# TYPE {name} {metric.kind}")
-                lines.extend(metric._exposition())
+                lines.extend(metric._exposition_locked())
         return "\n".join(lines) + "\n"
 
 

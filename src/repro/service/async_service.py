@@ -224,6 +224,10 @@ class AsyncQueryService:
                 await shared_pass.feed(chunk)
             return
         while True:
+            # The cooperative-CPU compromise the module docstring documents:
+            # a bounded local read; async chunk sources are the non-blocking
+            # alternative for slow delivery.
+            # async-ok: bounded 64 KiB read of a local file or StringIO
             chunk = document.read(_READ_CHUNK)
             if not chunk:
                 break

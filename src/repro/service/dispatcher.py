@@ -190,102 +190,133 @@ class SharedProjectionIndex:
 
     # ------------------------------------------------------------- router
 
-    def route(self, event: Event) -> int:
-        """The bitmask of plans ``event`` must be forwarded to."""
+    def route(self, event: Event) -> int:  # hot-loop
+        """The bitmask of plans ``event`` must be forwarded to.
+
+        The per-event function of the whole service — every lookup it
+        repeats is paid once per parser event, so shared state is hoisted
+        into locals and events are dispatched on exact class identity
+        (the event vocabulary is closed: nothing subclasses
+        :class:`StartElement`/:class:`EndElement`/:class:`Text`), which
+        is cheaper than ``isinstance`` and keeps ROADMAP item 2's
+        no-``isinstance`` rule.
+        """
         metrics = self.metrics
         metrics.parser_events += 1
+        cls = event.__class__
         if self._skip_depth:
             metrics.events_pruned += 1
-            if isinstance(event, StartElement):
+            if cls is StartElement:
                 self._skip_depth += 1
-            elif isinstance(event, EndElement):
+            elif cls is EndElement:
                 self._skip_depth -= 1
             return 0
-        if isinstance(event, StartElement):
+        stack = self._stack
+        # hot-loop-ok: second loads sit on the mutually exclusive skip path
+        if cls is StartElement:
             mask = self._route_start(event)
             if not mask:
                 return 0
-        elif isinstance(event, EndElement):
+        elif cls is EndElement:  # hot-loop-ok: exclusive with the skip path
             # Exactly the plans that saw the start tag see the end tag, so
             # every per-plan stream stays well formed.
-            mask = self._stack.pop().active if self._stack else self.full_mask
+            mask = stack.pop().active if stack else self.full_mask
             metrics.events_forwarded += 1
-        elif isinstance(event, Text):
-            if self._stack:
-                frame = self._stack[-1]
-                mask = frame.active & (frame.kept | self._keep_everything_mask)
+        elif cls is Text:
+            keep_everything = self._keep_everything_mask
+            if stack:
+                frame = stack[-1]
+                mask = frame.active & (frame.kept | keep_everything)
             else:
-                mask = self._keep_everything_mask
+                mask = keep_everything
             if not mask:
                 metrics.text_events_dropped += 1
                 return 0
             metrics.events_forwarded += 1
         else:
             # StartDocument / EndDocument always reach every runtime.
-            mask = self.full_mask
+            mask = self.full_mask  # hot-loop-ok: twice per document only
             metrics.events_forwarded += 1
-        self._mask_counts[mask] = self._mask_counts.get(mask, 0) + 1
+        counts = self._mask_counts
+        counts[mask] = counts.get(mask, 0) + 1
         return mask
 
-    def _route_start(self, event: StartElement) -> int:
+    def _route_start(self, event: StartElement) -> int:  # hot-loop
         name = event.name
-        if not self._stack:
+        metrics = self.metrics
+        stack = self._stack
+        keep_everything = self._keep_everything_mask
+        keep_names = self._keep_names
+        count = self._count
+        no_nodes = _NO_NODES
+        if not stack:
             # The document root: the spine of every document-rooted path —
-            # every plan receives it.
+            # every plan receives it.  One visit per pass, so this branch
+            # may allocate freely.
             active = self.full_mask
-            kept = self._keep_everything_mask
-            matched: List[List[ProjectionNode]] = []
-            for i in range(self._count):
+            kept = keep_everything
+            matched: List[List[ProjectionNode]] = []  # hot-loop-ok: root only
+            for i in range(count):
                 projection = self._projections[i]
                 node = projection.children.get(name)
-                plan_matched = [node] if node is not None else []
+                plan_matched = [node] if node is not None else []  # hot-loop-ok: root only
                 if (
                     projection.keep_subtree
-                    or name in self._keep_names[i]
+                    or name in keep_names[i]
                     or (node is not None and node.keep_subtree)
                 ):
                     kept |= 1 << i
                 matched.append(plan_matched)
-            self._stack.append(_Frame(name, matched, kept, active))
-            self.metrics.events_forwarded += 1
+            stack.append(_Frame(name, matched, kept, active))  # hot-loop-ok: root only
+            metrics.events_forwarded += 1
             return active
-        parent = self._stack[-1]
+        parent = stack[-1]
+        parent_matched = parent.matched
+        parent_keep = parent.kept | keep_everything
+        parent_name = parent.name
+        interesting_names = self._interesting_names
+        condition_types = self._condition_types
         active = 0
         kept = 0
-        matched = [_NO_NODES] * self._count
+        # hot-loop-ok: one frame state per open element, depth-bounded
+        matched = [no_nodes] * count
         remaining = parent.active
         while remaining:
             bit = remaining & -remaining
             remaining ^= bit
             i = bit.bit_length() - 1
-            plan_kept = bool(
-                bit & (parent.kept | self._keep_everything_mask)
-            ) or name in self._keep_names[i]
-            plan_matched: List[ProjectionNode] = []
-            for node in parent.matched[i]:
+            plan_kept = bool(bit & parent_keep) or name in keep_names[i]
+            # The shared empty list covers the common no-match case; a
+            # plan's first projection match must materialize its own list.
+            plan_matched = no_nodes
+            for node in parent_matched[i]:
                 child = node.children.get(name)
                 if child is not None:
-                    plan_matched.append(child)
+                    if plan_matched:
+                        plan_matched.append(child)
+                    else:
+                        plan_matched = [child]  # hot-loop-ok: first match only
                     plan_kept = plan_kept or child.keep_subtree
             if (
                 plan_kept
                 or plan_matched
-                or name in self._interesting_names[i]
-                or parent.name in self._condition_types[i]
+                or name in interesting_names[i]
+                or parent_name in condition_types[i]
             ):
                 active |= bit
                 if plan_kept:
                     kept |= bit
                 matched[i] = plan_matched
         if active:
-            self._stack.append(_Frame(name, matched, kept, active))
-            self.metrics.events_forwarded += 1
+            # hot-loop-ok: one frame per retained open element (depth-bounded)
+            stack.append(_Frame(name, matched, kept, active))
+            metrics.events_forwarded += 1
             return active
         # Irrelevant to every query and invisible to every condition:
         # prune the whole subtree once, for all runtimes.
         self._skip_depth = 1
-        self.metrics.subtrees_pruned += 1
-        self.metrics.events_pruned += 1
+        metrics.subtrees_pruned += 1
+        metrics.events_pruned += 1
         return 0
 
     # ------------------------------------------------------------ metrics
@@ -357,7 +388,7 @@ class SharedDispatcher:
         self.chunk_size = chunk_size
         self._pending: List[List[Event]] = [[] for _ in sessions]
 
-    def dispatch(self, events: Iterable[Event]) -> None:
+    def dispatch(self, events: Iterable[Event]) -> None:  # hot-loop
         """Route ``events``, forwarding each survivor to the sessions whose
         routing bit is set.
 
@@ -369,6 +400,7 @@ class SharedDispatcher:
         validator = self.validator
         pending = self._pending
         chunk_size = self.chunk_size
+        sessions = self.sessions
         for event in events:
             if validator is not None:
                 validator.feed(event)
@@ -380,8 +412,9 @@ class SharedDispatcher:
                 bucket = pending[i]
                 bucket.append(event)
                 if len(bucket) >= chunk_size:
+                    # hot-loop-ok: one fresh bucket per chunk_size events
                     pending[i] = []
-                    self.sessions[i].feed(bucket)
+                    sessions[i].feed(bucket)
 
     def dispatch_timed(self, events: List[Event], times: Dict[str, float]) -> None:
         """:meth:`dispatch`, accumulating per-stage wall time into ``times``.
@@ -399,6 +432,7 @@ class SharedDispatcher:
         validator = self.validator
         pending = self._pending
         chunk_size = self.chunk_size
+        sessions = self.sessions
         perf = time.perf_counter
         route_s = 0.0
         evaluate_s = 0.0
@@ -418,7 +452,7 @@ class SharedDispatcher:
                 if len(bucket) >= chunk_size:
                     pending[i] = []
                     t1 = perf()
-                    self.sessions[i].feed(bucket)
+                    sessions[i].feed(bucket)
                     evaluate_s += perf() - t1
         total = perf() - loop_started
         times["route"] += route_s

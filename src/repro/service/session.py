@@ -14,6 +14,7 @@ solo ``FluxEngine.execute`` of the same query over the same document.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -165,8 +166,14 @@ class SharedPass:
             raise ValueError("a shared pass needs at least one registered query")
         self._registrations = list(registrations)
         self._metrics = PassMetrics(queries=len(self._registrations))
-        self._aborted = False
-        self._closed = False
+        # abort() is the one cross-thread entry point (a pool driver may
+        # abort a pass its worker is feeding), so the aborted/closed
+        # transitions are real test-and-sets: without the lock two racing
+        # abort() calls could both log pass.abort, and a finalizer racing
+        # finish() could release the service's active-pass slot twice.
+        self._state_lock = threading.Lock()
+        self._aborted = False  # guarded-by: _state_lock
+        self._closed = False  # guarded-by: _state_lock
         self._on_close = on_close
         # Observability is decided once here, never per event: with obs off
         # (the default) feed/finish run the original untimed code path.
@@ -222,11 +229,11 @@ class SharedPass:
 
     @property
     def aborted(self) -> bool:
-        return self._aborted
+        return self._aborted  # unguarded: monotonic flag, single-driver reader; a racing abort lands on the next call
 
     def feed(self, text: str) -> None:
         """Push the next chunk of document text into the pass."""
-        if self._aborted:
+        if self._aborted:  # unguarded: monotonic flag, single-driver reader; a racing abort lands on the next call
             raise ValueError("feed() on an aborted pass")
         if self._results is not None:
             raise ValueError("feed() after finish()")
@@ -256,7 +263,7 @@ class SharedPass:
 
     def finish(self) -> Dict[str, QueryResult]:
         """Close the input and return one result per registered query."""
-        if self._aborted:
+        if self._aborted:  # unguarded: monotonic flag, single-driver reader; a racing abort lands on the next call
             raise ValueError("finish() on an aborted pass")
         if self._results is None:
             times = self._times
@@ -331,8 +338,9 @@ class SharedPass:
         Idempotent, callable from any state (including mid-construction);
         the first call releases the pass's slot on the owning service.
         """
-        first = not self._aborted
-        self._aborted = True
+        with self._state_lock:
+            first = not self._aborted
+            self._aborted = True
         for run in self._runs:
             run.session.abort()
         if first and self._results is None and self._obs is not None:
@@ -344,9 +352,12 @@ class SharedPass:
 
     def _close(self) -> None:
         """Release the service's active-pass slot, exactly once."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        # The callback runs outside the lock: it re-enters the service
+        # (slot release) and must not nest under pass state.
         if self._on_close is not None:
             self._on_close(self)
 
@@ -354,7 +365,7 @@ class SharedPass:
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        if exc_type is not None or self._aborted:
+        if exc_type is not None or self._aborted:  # unguarded: monotonic flag, single-driver reader; a racing abort lands on the next call
             self.abort()
         else:
             self.finish()

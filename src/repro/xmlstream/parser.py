@@ -298,7 +298,7 @@ class StreamingXMLParser:
 
     # ----------------------------------------------------------- push mode
 
-    def feed(self, data: str) -> List[Event]:
+    def feed(self, data: str) -> List[Event]:  # hot-loop
         """Push ``data`` into the parser, returning the completed events.
 
         Only available on :meth:`incremental` parsers.  Events are exactly
@@ -307,8 +307,10 @@ class StreamingXMLParser:
         :meth:`close`) arrives.
         """
         if not self._push:
+            # hot-loop-ok: misuse error path, never taken per chunk
             raise ValueError("feed() is only available on incremental parsers")
         if self._closed:
+            # hot-loop-ok: misuse error path, never taken per chunk
             raise ValueError("feed() called after close()")
         self._append(data)
         return self._pump()

@@ -1,0 +1,16 @@
+"""Async code the blocking checker must pass without findings."""
+
+
+class CooperativeFrontend:
+    async def serve(self, conn, lock):
+        await lock.acquire()
+        # async-ok: bounded read of an in-memory buffer
+        data = conn.recv()
+
+        def drain(handle):  # sync helper runs in an executor
+            return handle.read()
+
+        return data, drain
+
+    def sync_path(self, handle):
+        return handle.read()  # not async: out of scope

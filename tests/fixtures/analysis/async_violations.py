@@ -1,0 +1,17 @@
+"""Seeded async-blocking violations for the golden checker tests.
+
+Line numbers are asserted exactly in tests/test_analysis_checkers.py —
+do not reflow this file without updating them.
+"""
+import time
+
+
+class AsyncFrontend:
+    async def serve(self, conn, lock):
+        time.sleep(0.1)
+        payload = conn.recv()
+        handle = open("plan.bin")
+        lock.acquire()
+        data = handle.read()  # async-ok
+        await lock.acquire()
+        return payload, data

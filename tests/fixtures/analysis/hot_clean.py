@@ -1,0 +1,15 @@
+"""A marked hot-loop function the purity checker must pass clean."""
+
+
+class HoistedSink:
+    def consume(self, events):  # hot-loop
+        limit = self._limit
+        counts = self._counts
+        total = 0
+        for event in events:
+            total += 1
+            counts[event] = counts.get(event, 0) + 1
+            if limit and total > limit:
+                # hot-loop-ok: overflow path — once per document at most
+                self._overflow = [event]
+        return total

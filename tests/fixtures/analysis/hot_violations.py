@@ -1,0 +1,27 @@
+"""Seeded hot-loop purity violations for the golden checker tests.
+
+Line numbers are asserted exactly in tests/test_analysis_checkers.py —
+do not reflow this file without updating them.
+"""
+
+
+class EventSink:
+    def consume(self, events):  # hot-loop
+        total = 0
+        for event in events:
+            box = [event]
+            if isinstance(event, tuple):
+                continue
+            try:
+                total += len(box)
+            except TypeError:
+                pass
+            if self._limit and total > self._limit:
+                break
+        return total
+
+    def bare_excuse(self):  # hot-loop
+        return {"a": 1}  # hot-loop-ok
+
+    def cold_path(self, events):
+        return [list(event) for event in events]  # unmarked: no findings

@@ -1,0 +1,29 @@
+"""A class the lock-discipline checker must pass without findings."""
+import threading
+
+
+class DisciplinedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: _lock
+        self._label = "idle"
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+
+    def snapshot(self):
+        with self._lock:
+            return self._count
+
+    def peek_racy(self):  # unguarded: approximate read for logs is fine
+        return self._count
+
+    def peek_annotated(self):
+        return self._count  # unguarded: approximate read for logs is fine
+
+    def _bump_locked(self):
+        self._count += 1
+
+    def rename(self, label):
+        self._label = label

@@ -1,0 +1,32 @@
+"""Seeded lock-discipline violations for the golden checker tests.
+
+Line numbers are asserted exactly in tests/test_analysis_checkers.py —
+do not reflow this file without updating them.
+"""
+import threading
+
+
+class RacyCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self._count = 0
+        self._history = []
+
+    def increment(self):
+        with self._lock:
+            self._count += 1
+            self._history.append(self._count)
+
+    def peek(self):
+        return self._count
+
+    def wrong_lock(self):
+        with self._aux:
+            return self._count
+
+    def declare_phantom(self):
+        self._total = 0  # guarded-by: _missing
+
+    def bare_reason(self):
+        return self._count  # unguarded

@@ -1,0 +1,31 @@
+"""A plan graph the pickle-safety checker must pass without findings."""
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SafeNode:
+    __slots__ = ("name",)
+    name: str
+
+    def __getstate__(self):
+        return {"name": self.name}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "name", state["name"])
+
+
+@dataclass
+class PlanArtifact:
+    nodes: Tuple[SafeNode, ...]
+    payload: bytes
+
+
+class Debuggable:  # pickle-ok: debug handle, never shipped to workers
+    pass
+
+
+@dataclass
+class Wrapper(PlanArtifact):
+    note: str
+    debug: "Debuggable"

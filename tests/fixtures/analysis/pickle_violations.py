@@ -1,0 +1,31 @@
+"""Seeded pickle-safety violations for the golden checker tests.
+
+Line numbers are asserted exactly in tests/test_analysis_checkers.py —
+do not reflow this file without updating them.
+"""
+from dataclasses import dataclass
+from threading import Lock
+from typing import List
+
+
+@dataclass(frozen=True)
+class StepNode:
+    __slots__ = ("name",)
+    name: str
+
+
+@dataclass
+class CompiledQueryPlan:
+    steps: List[StepNode]
+    guard: Lock
+
+    def __getstate__(self):
+        return {}
+
+
+class ShippedExtra(CompiledQueryPlan):  # pickle-ok
+    pass
+
+
+class Unreachable:
+    guard: Lock  # not plan-reachable: no finding

@@ -1,0 +1,18 @@
+"""Fixture whose path suffix matches REQUIRED_HOT: route lost its marker.
+
+Only ``SharedProjectionIndex.route`` is unmarked, so the checker must
+report exactly one HL005 here.
+"""
+
+
+class SharedProjectionIndex:
+    def route(self, event):
+        return 0
+
+    def _route_start(self, event):  # hot-loop
+        return 0
+
+
+class SharedDispatcher:
+    def dispatch(self, events):  # hot-loop
+        return None

@@ -1,0 +1,177 @@
+"""Core analysis machinery: annotations, baselines, runner, CLI exit codes."""
+
+import ast
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import all_codes, default_checkers, run_lint
+from repro.analysis.core import (
+    Finding,
+    SourceFile,
+    apply_baseline,
+    iter_python_files,
+    load_baseline,
+    run_checkers,
+    write_baseline,
+)
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "analysis")
+
+
+def parse_source(source):
+    source = textwrap.dedent(source)
+    return SourceFile("<mem>", "mem.py", source, ast.parse(source))
+
+
+class TestAnnotations:
+    def test_trailing_annotation_with_reason(self):
+        module = parse_source("x = 1  # unguarded: single writer\n")
+        assert module.annotation(1, "unguarded") == "single writer"
+
+    def test_bare_marker_is_empty_string(self):
+        module = parse_source("x = 1  # hot-loop\n")
+        assert module.annotation(1, "hot-loop") == ""
+
+    def test_absent_annotation_is_none(self):
+        module = parse_source("x = 1  # a plain comment\n")
+        assert module.annotation(1, "unguarded") is None
+
+    def test_own_line_comment_above_counts(self):
+        module = parse_source(
+            """\
+            # async-ok: bounded in-memory read
+            x = read()
+            """
+        )
+        assert module.annotation_near(2, "async-ok") == "bounded in-memory read"
+
+    def test_trailing_comment_does_not_leak_to_next_line(self):
+        # Regression: a trailing annotation on line N must not suppress or
+        # declare anything about line N+1.
+        module = parse_source(
+            """\
+            a = 1  # guarded-by: _lock
+            b = 2
+            """
+        )
+        assert module.annotation_near(1, "guarded-by") == "_lock"
+        assert module.annotation_near(2, "guarded-by") is None
+
+    def test_trailing_note_text_invalidates_annotation(self):
+        # The annotation grammar is strict: extra prose after a bare marker
+        # makes it unrecognizable rather than silently parsed.
+        module = parse_source("x = 1  # unguarded (see docs)\n")
+        assert module.annotation(1, "unguarded") is None
+
+
+class TestBaseline:
+    def make_finding(self, code="LD001", line=3):
+        return Finding(code=code, path="pkg/mod.py", line=line,
+                       message="field read without lock", checker="lock-discipline")
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline([self.make_finding()], path)
+        assert load_baseline(path) == {("LD001", "pkg/mod.py", "field read without lock")}
+
+    def test_fingerprint_is_line_independent(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline([self.make_finding(line=3)], path)
+        baseline = load_baseline(path)
+        moved = self.make_finding(line=99)
+        fresh, suppressed = apply_baseline([moved], baseline)
+        assert fresh == [] and suppressed == 1
+
+    def test_unbaselined_finding_stays_fresh(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        write_baseline([self.make_finding()], path)
+        other = self.make_finding(code="LD002")
+        fresh, suppressed = apply_baseline([other], load_baseline(path))
+        assert fresh == [other] and suppressed == 0
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestRunner:
+    def test_parse_error_is_reported_not_fatal(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def nope(:\n")
+        (tmp_path / "racy.py").write_text(
+            (open(os.path.join(FIXTURES, "lock_violations.py")).read())
+        )
+        findings, errors = run_checkers([str(tmp_path)], default_checkers())
+        assert len(errors) == 1 and "broken.py" in errors[0]
+        assert any(f.code == "LD001" for f in findings)
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("")
+        (tmp_path / "real.py").write_text("")
+        rels = [rel for _, rel in iter_python_files(str(tmp_path))]
+        assert rels == ["real.py"]
+
+    def test_all_codes_covers_every_checker(self):
+        codes = all_codes()
+        for prefix in ("LD", "HL", "AB", "PS"):
+            assert any(code.startswith(prefix) for code in codes)
+
+
+class TestLintCommand:
+    def test_violations_exit_1(self, capsys):
+        exit_code = main(["lint", os.path.join(FIXTURES, "lock_violations.py")])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "LD001" in out and "finding(s)" in out
+
+    def test_clean_tree_exit_0(self, capsys):
+        exit_code = main(["lint", os.path.join(FIXTURES, "lock_clean.py")])
+        assert exit_code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_format_is_parseable(self, capsys):
+        exit_code = main(
+            ["lint", os.path.join(FIXTURES, "hot_violations.py"), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["summary"]["findings"] == len(payload["findings"])
+        assert {"code", "path", "line", "message", "checker"} <= set(payload["findings"][0])
+
+    def test_fail_on_filters_exit_code(self, capsys):
+        # The file only seeds LD codes, so failing on PS001 alone passes.
+        path = os.path.join(FIXTURES, "lock_violations.py")
+        assert main(["lint", path, "--fail-on", "PS001"]) == 0
+        assert main(["lint", path, "--fail-on", "LD001,PS001"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_fail_on_code_exit_2(self, capsys):
+        exit_code = main(["lint", FIXTURES, "--fail-on", "XX999"])
+        assert exit_code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_missing_path_exit_2(self, capsys):
+        exit_code = main(["lint", os.path.join(FIXTURES, "no_such_dir")])
+        assert exit_code == 2
+        capsys.readouterr()
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        path = os.path.join(FIXTURES, "async_violations.py")
+        assert main(["lint", path, "--write-baseline", baseline]) == 0
+        assert main(["lint", path, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_baselined_run_reports_suppressed_count(self, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        path = os.path.join(FIXTURES, "async_violations.py")
+        main(["lint", path, "--write-baseline", baseline])
+        result = run_lint([path], baseline_path=baseline)
+        assert result.findings == [] and result.suppressed == 6

@@ -70,7 +70,7 @@ class TestHistogram:
             hist.observe(value)
         assert hist.count() == 4
         assert hist.sum() == pytest.approx(55.55)
-        (sample,) = hist._snapshot_values()
+        (sample,) = hist._snapshot_values_locked()
         # Cumulative, Prometheus-style: le=0.1 → 1, le=1 → 2, le=10 → 3, +Inf → 4.
         assert [b["count"] for b in sample["buckets"]] == [1, 2, 3, 4]
 
