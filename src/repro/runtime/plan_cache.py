@@ -34,16 +34,19 @@ thundering herd of identical registrations pays the optimizer once.
 from __future__ import annotations
 
 import copy
+import dataclasses
+import hashlib
 import os
 import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, cast
 
 from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.runtime.compiler import CompiledQueryPlan, compile_query
+from repro.xquery.ast import VarRef
 
 #: Fingerprint stand-in for "no schema" (plans then use maximal buffering).
 NO_DTD_FINGERPRINT = "no-dtd"
@@ -62,6 +65,100 @@ def cache_key(
 ) -> Tuple[str, str, str]:
     """The cache key for ``query`` compiled under ``dtd`` and ``config``."""
     return (query, dtd_fingerprint(dtd), config)
+
+
+# --------------------------------------------------------- structure keys
+#
+# Two registrations whose query texts differ only in whitespace or variable
+# names compile to the *same* computation; the multi-query service wants to
+# evaluate that computation once and fan the result out.  The structure key
+# names the computation itself: a canonical serialization of the parsed
+# query AST *and* the physical plan tree, with every variable α-renamed by
+# first occurrence, joined with the DTD fingerprint and pipeline config.
+# Serializing both trees (rather than, say, the rendered FluX syntax, which
+# omits ``process-stream`` element types) guarantees that two entries with
+# equal keys have identical routing profiles — the profile is derived from
+# the parsed AST (projection tree) and the plan (labels, buffers,
+# conditions) — and identical evaluation semantics.
+
+
+def _canon_var(name: str, rename: Dict[str, str], out: List[str]) -> None:
+    canon = rename.get(name)
+    if canon is None:
+        canon = f"v{len(rename)}"
+        rename[name] = canon
+    out.append(canon)
+
+
+def _canon_value(value: object, rename: Dict[str, str], out: List[str]) -> None:
+    """Append a canonical, unambiguous rendering of ``value`` to ``out``.
+
+    Handles exactly the value vocabulary of the plan/AST dataclasses:
+    nested dataclasses (class name + fields in declaration order), tuples,
+    frozensets and dicts (sorted — their iteration order is not
+    structural), and scalar leaves.  Fields named ``var`` and the ``name``
+    of a :class:`~repro.xquery.ast.VarRef` are α-renamed; every other
+    string (element types, labels, literal text) is structural and kept.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out.append(f"({type(value).__name__}")
+        is_var_ref = isinstance(value, VarRef)
+        for field_info in dataclasses.fields(value):
+            field_name = field_info.name
+            field_value = getattr(value, field_name)
+            out.append(f" {field_name}=")
+            if field_name == "var" or (is_var_ref and field_name == "name"):
+                _canon_var(cast(str, field_value), rename, out)
+            else:
+                _canon_value(field_value, rename, out)
+        out.append(")")
+    elif isinstance(value, tuple) or isinstance(value, list):
+        out.append("[")
+        for item in value:
+            _canon_value(item, rename, out)
+            out.append(",")
+        out.append("]")
+    elif isinstance(value, (set, frozenset)):
+        out.append("{")
+        for item in sorted(value, key=repr):
+            _canon_value(item, rename, out)
+            out.append(",")
+        out.append("}")
+    elif isinstance(value, dict):
+        out.append("<")
+        for item_key in sorted(value, key=repr):
+            _canon_value(item_key, rename, out)
+            out.append(":")
+            _canon_value(value[item_key], rename, out)
+            out.append(",")
+        out.append(">")
+    else:
+        # Scalar leaf (str/int/float/bool/None): repr is unambiguous.
+        out.append(repr(value))
+
+
+def structure_key(entry: CompiledQueryPlan) -> str:
+    """The structural identity of a compiled plan.
+
+    Equal keys mean the entries are the same computation — identical
+    parsed-AST and physical-plan trees up to a consistent renaming of
+    variables, under the same DTD fingerprint and pipeline configuration —
+    so a shared pass may evaluate one of them and serve the output to
+    every registrant of the other.  Computed once per entry and memoized
+    on it (the serialization walks both trees).
+    """
+    cached = entry.__dict__.get("_structure_key")
+    if cached is not None:
+        return cast(str, cached)
+    out: List[str] = []
+    rename: Dict[str, str] = {}
+    _canon_value(entry.optimized.parsed, rename, out)
+    out.append("|")
+    _canon_value(entry.plan.root, rename, out)
+    digest = hashlib.sha256("".join(out).encode("utf-8")).hexdigest()
+    key = f"{digest}:{dtd_fingerprint(entry.dtd)}:{entry.pipeline_config}"
+    entry.__dict__["_structure_key"] = key
+    return key
 
 
 @dataclass
@@ -98,6 +195,11 @@ class CacheStats:
     #: they affect no hit/miss accounting, but a restarted service wants to
     #: know how many compilations its snapshot spared it).
     preloaded: int = 0
+    #: Inserted entries replaced by an already-cached structurally identical
+    #: plan (same :func:`structure_key`, different query text).  Each one is
+    #: a plan object the cache now shares between keys instead of storing
+    #: twice — the substrate of the service layer's fleet dedup.
+    interned: int = 0
 
     @property
     def lookups(self) -> int:
@@ -115,6 +217,7 @@ class CacheStats:
             "coalesced": self.coalesced,
             "evictions": self.evictions,
             "preloaded": self.preloaded,
+            "interned": self.interned,
             "hit_rate": self.hit_rate,
         }
 
@@ -230,6 +333,13 @@ class PlanCache:
         self._lock = threading.Lock()
         # In-progress compilations, for single-flight get_or_compile().
         self._inflight: Dict[Tuple[str, str, str], "_Flight"] = {}
+        # Structural interning: one canonical plan object per structure
+        # key, shared by every alias key that inserts an equal structure;
+        # refcounts keep the canonical alive exactly as long as some cache
+        # entry uses it.  All three maps are guarded by the cache lock.
+        self._structure_entries: Dict[str, CompiledQueryPlan] = {}
+        self._structure_refs: Dict[str, int] = {}
+        self._entry_structures: Dict[Tuple[str, str, str], str] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -256,18 +366,74 @@ class PlanCache:
             self.stats.hits += 1
             return entry
 
-    def put(self, entry: CompiledQueryPlan) -> None:
-        """Insert a compiled plan, evicting the LRU entry when full."""
+    def put(self, entry: CompiledQueryPlan) -> CompiledQueryPlan:
+        """Insert a compiled plan, evicting the LRU entry when full.
+
+        Returns the entry actually stored: when the cache already holds a
+        *structurally identical* plan (same :func:`structure_key`), the new
+        entry is interned — the existing canonical plan object is stored
+        (and returned) instead, so alias keys share one plan.
+        """
+        skey = structure_key(entry)
         key = cache_key(entry.source, entry.dtd, entry.pipeline_config)
         with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self._entries[key] = entry
-                return
-            while len(self._entries) >= self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            return self._insert_locked(key, entry, skey)
+
+    def _insert_locked(
+        self,
+        key: Tuple[str, str, str],
+        entry: CompiledQueryPlan,
+        skey: str,
+    ) -> CompiledQueryPlan:
+        """Store ``entry`` under ``key``, interning by structure.
+
+        Caller holds the cache lock.  ``key`` may differ from the entry's
+        own source key (snapshot alias records); the structure maps track
+        how many live cache entries share each canonical plan so eviction
+        never strands (or prematurely drops) a shared object.
+        """
+        canonical = self._structure_entries.get(skey)
+        if canonical is not None:
+            if canonical is not entry:
+                self.stats.interned += 1
+                entry = canonical
+        else:
+            self._structure_entries[skey] = entry
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            old_skey = self._entry_structures[key]
+            if old_skey != skey:
+                self._release_structure_locked(old_skey)
+                self._entry_structures[key] = skey
+                self._structure_refs[skey] = self._structure_refs.get(skey, 0) + 1
             self._entries[key] = entry
+            return entry
+        while len(self._entries) >= self.capacity:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._release_structure_locked(self._entry_structures.pop(evicted_key))
+            self.stats.evictions += 1
+        # Eviction may have just dropped the canonical this entry interned
+        # against (the evictee was its last holder); re-seed it so the
+        # structure table always maps skey → the object live entries share.
+        self._structure_entries.setdefault(skey, entry)
+        self._entries[key] = entry
+        self._entry_structures[key] = skey
+        self._structure_refs[skey] = self._structure_refs.get(skey, 0) + 1
+        return entry
+
+    def _release_structure_locked(self, skey: str) -> None:
+        """Drop one cache entry's claim on a canonical plan (lock held)."""
+        refs = self._structure_refs.get(skey, 0) - 1
+        if refs <= 0:
+            self._structure_refs.pop(skey, None)
+            self._structure_entries.pop(skey, None)
+        else:
+            self._structure_refs[skey] = refs
+
+    def structure_count(self) -> int:
+        """How many distinct plan structures the cached entries span."""
+        with self._lock:
+            return len(self._structure_entries)
 
     def get_or_compile(
         self,
@@ -324,8 +490,11 @@ class PlanCache:
             flight.error = exc
             raise
         else:
+            # put() may intern the fresh plan against a structurally
+            # identical cached one; callers (and followers) must get the
+            # stored object, so alias registrations share a single plan.
+            entry = self.put(entry)
             flight.entry = entry
-            self.put(entry)
             return entry, False
         finally:
             with self._lock:
@@ -336,6 +505,9 @@ class PlanCache:
         """Drop all entries (stats are kept)."""
         with self._lock:
             self._entries.clear()
+            self._structure_entries.clear()
+            self._structure_refs.clear()
+            self._entry_structures.clear()
 
     def register_metrics(self, registry, prefix: str = "repro_plan_cache") -> None:
         """Fold this cache's counters into ``registry`` at every snapshot.
@@ -359,7 +531,11 @@ class PlanCache:
 
     #: Leading magic of a cache snapshot file (format versioning).
     SNAPSHOT_FORMAT = "repro-plan-cache"
-    SNAPSHOT_VERSION = 1
+    #: Version 2 adds ``entries`` alias records so a plan shared by several
+    #: cache keys (structural interning) is written exactly once; version-1
+    #: snapshots (artifacts only, one key each) are still readable.
+    SNAPSHOT_VERSION = 2
+    _READABLE_SNAPSHOT_VERSIONS = (1, 2)
 
     def artifacts(self) -> List[PlanArtifact]:
         """The cached plans as shippable artifacts, LRU-first.
@@ -379,16 +555,32 @@ class PlanCache:
         fingerprint, pipeline config)`` keys the live cache uses —
         fingerprints are content hashes, so a snapshot taken by one process
         is valid in any other (or any later restart) seeing the same
-        queries and schemas.  The file is written atomically (temp file +
-        rename): a reader never sees a torn snapshot, and a crash mid-dump
-        leaves any previous snapshot intact.
+        queries and schemas.  A plan object shared by several keys
+        (structural interning) is serialized exactly once: the snapshot
+        carries the unique artifacts plus ``entries`` alias records
+        ``(key, artifact index)``, and :meth:`load` restores the sharing.
+        The file is written atomically (temp file + rename): a reader
+        never sees a torn snapshot, and a crash mid-dump leaves any
+        previous snapshot intact.
         """
-        artifacts = self.artifacts()
+        with self._lock:
+            items = list(self._entries.items())
+        artifacts: List[PlanArtifact] = []
+        indexes: Dict[int, int] = {}
+        records: List[Tuple[Tuple[str, str, str], int]] = []
+        for key, entry in items:
+            index = indexes.get(id(entry))
+            if index is None:
+                index = len(artifacts)
+                indexes[id(entry)] = index
+                artifacts.append(PlanArtifact.from_plan(entry))
+            records.append((key, index))
         payload = pickle.dumps(
             {
                 "format": self.SNAPSHOT_FORMAT,
                 "version": self.SNAPSHOT_VERSION,
                 "artifacts": artifacts,
+                "entries": records,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -419,13 +611,14 @@ class PlanCache:
             or snapshot.get("format") != self.SNAPSHOT_FORMAT
         ):
             raise ValueError(f"{path} is not a plan-cache snapshot")
-        if snapshot.get("version") != self.SNAPSHOT_VERSION:
+        if snapshot.get("version") not in self._READABLE_SNAPSHOT_VERSIONS:
             raise ValueError(
                 f"{path} is a version-{snapshot.get('version')} snapshot; "
-                f"this build reads version {self.SNAPSHOT_VERSION}"
+                f"this build reads versions {self._READABLE_SNAPSHOT_VERSIONS}"
             )
-        loaded = 0
-        for artifact in snapshot["artifacts"]:
+        artifacts: List[PlanArtifact] = list(snapshot["artifacts"])
+        plans: List[CompiledQueryPlan] = []
+        for artifact in artifacts:
             try:
                 entry = artifact.load_plan()
             except ValueError:
@@ -443,7 +636,32 @@ class PlanCache:
                     f"{path}: artifact key {artifact.key[:2]} does not match "
                     "its plan (snapshot corrupted or fingerprinting changed)"
                 )
-            self.put(entry)
+            plans.append(entry)
+        # Version-1 snapshots (and 2-without-records, defensively) carry no
+        # alias records: every artifact fills exactly its own key.
+        records = snapshot.get("entries")
+        if records is None:
+            records = [(artifact.key, i) for i, artifact in enumerate(artifacts)]
+        loaded = 0
+        for key, index in records:
+            if not (0 <= index < len(plans)):
+                raise ValueError(
+                    f"{path}: entry record {key[:2]} points at artifact "
+                    f"{index}, but the snapshot has {len(plans)}"
+                )
+            entry = plans[index]
+            artifact = artifacts[index]
+            # An alias key may carry a different query text than the plan
+            # it shares, but never a different schema or pipeline: sharing
+            # is only valid inside one (DTD fingerprint, config) world.
+            if tuple(key[1:]) != artifact.key[1:]:
+                raise ValueError(
+                    f"{path}: entry record {key[:2]} does not match its "
+                    "artifact's fingerprints (snapshot corrupted)"
+                )
+            skey = structure_key(entry)
+            with self._lock:
+                self._insert_locked((key[0], key[1], key[2]), entry, skey)
             loaded += 1
         with self._lock:
             self.stats.preloaded += loaded

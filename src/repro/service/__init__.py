@@ -44,7 +44,13 @@ and execution modes.
 
 from repro.errors import PassInProgressError
 from repro.runtime.evaluator import EXECUTION_MODES
-from repro.runtime.plan_cache import CacheStats, PlanCache, cache_key, dtd_fingerprint
+from repro.runtime.plan_cache import (
+    CacheStats,
+    PlanCache,
+    cache_key,
+    dtd_fingerprint,
+    structure_key,
+)
 from repro.service.async_service import AsyncQueryService, AsyncSharedPass
 from repro.service.dispatcher import (
     PlanProfile,
@@ -60,7 +66,12 @@ from repro.service.process_pool import (
     ProcessServicePool,
 )
 from repro.service.service import QueryService, ServedDocument
-from repro.service.session import RegisteredQuery, SharedPass, SHARED_ENGINE_NAME
+from repro.service.session import (
+    PlanStructure,
+    RegisteredQuery,
+    SharedPass,
+    SHARED_ENGINE_NAME,
+)
 
 __all__ = [
     "QueryService",
@@ -76,12 +87,14 @@ __all__ = [
     "ServedDocument",
     "SharedPass",
     "RegisteredQuery",
+    "PlanStructure",
     "SHARED_ENGINE_NAME",
     "PassInProgressError",
     "PlanCache",
     "CacheStats",
     "cache_key",
     "dtd_fingerprint",
+    "structure_key",
     "PlanProfile",
     "SharedDispatcher",
     "SharedProjectionIndex",

@@ -130,6 +130,7 @@ class AsyncQueryService:
         plan_cache: Optional[PlanCache] = None,
         cache_size: int = 128,
         obs: Optional[Observability] = None,
+        dedup: bool = True,
     ):
         self._service = QueryService(
             dtd,
@@ -138,6 +139,7 @@ class AsyncQueryService:
             cache_size=cache_size,
             execution="inline",
             obs=obs,
+            dedup=dedup,
         )
 
     # ------------------------------------------------------- registration

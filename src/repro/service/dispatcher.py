@@ -14,9 +14,17 @@ by a single byte*.  Each registered plan contributes a
   variables — and the element types carrying registered XSAX ``on-first``
   conditions.
 
-A single stack-machine pass (:meth:`SharedProjectionIndex.route`) then
-computes, **per admitted event, a bitmask of exactly which plans need it**
-(bit *i* set means plan *i*'s session receives the event).  Per plan:
+Profiles are grouped by *plan structure* before they reach the index:
+registrations whose plans are structurally identical (same
+:func:`~repro.runtime.plan_cache.structure_key`) share one profile, one
+routing bit, and one evaluation session, however many subscribers ride on
+them.  The profiles of all groups are then merged into a single **path
+trie** (:class:`_TrieNode`) plus per-name mask tables, so a single
+stack-machine pass (:meth:`SharedProjectionIndex.route`) computes, **per
+admitted event, a bitmask of exactly which groups need it** (bit *i* set
+means group *i*'s session receives the event) with per-event cost bounded
+by the number of *distinct* structures, not the registrant count.  Per
+group:
 
 * character data in regions that plan's buffers or copies cannot observe
   is not routed to it;
@@ -126,33 +134,82 @@ class PlanProfile:
         self.interesting_names.update(self.keep_names)
 
 
+class _TrieNode:
+    """One document-rooted path of the merged projection trie.
+
+    The per-group projection trees are folded into one trie at index
+    construction: ``mask`` is the bitmask of groups whose projection tree
+    has a node at exactly this path, ``keep_mask`` the subset whose node
+    keeps the whole subtree.  Projection trees are document-rooted, so a
+    path determines its matches for every group at once — the hot loop
+    replaces the old per-plan matched-node lists with a single child
+    lookup here, making the per-event cost independent of fleet size.
+    Immutable after construction; shared freely by the pass's frames.
+    """
+
+    __slots__ = ("children", "mask", "keep_mask")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode"] = {}
+        self.mask = 0
+        self.keep_mask = 0
+
+
+def _merge_projection(trie: _TrieNode, node: ProjectionNode, bit: int) -> None:
+    """Fold one group's projection tree into the merged trie."""
+    for name, child in node.children.items():
+        sub = trie.children.get(name)
+        if sub is None:
+            sub = trie.children[name] = _TrieNode()
+        sub.mask |= bit
+        if child.keep_subtree:
+            sub.keep_mask |= bit
+        _merge_projection(sub, child, bit)
+
+
 class _Frame:
     """Per-open-element state of the shared routing machine.
 
-    ``active`` is the bitmask of plans this element was routed to (a plan
-    that pruned an ancestor can never reappear below it); ``kept`` marks
-    the active plans whose buffers/copies can observe this region's
-    character data; ``matched`` holds, per plan, the projection-tree nodes
-    the element's path has reached.
+    ``active`` is the bitmask of groups this element was routed to (a
+    group that pruned an ancestor can never reappear below it); ``kept``
+    marks the groups whose buffers/copies can observe this region's
+    character data (keep-everything groups are folded in at the root and
+    inherited); ``node`` is the merged-trie node this element's
+    document-rooted path reached, or ``None`` once the path left every
+    group's projection tree.
     """
 
-    __slots__ = ("name", "matched", "kept", "active")
+    __slots__ = ("name", "node", "kept", "active")
 
-    def __init__(self, name: str, matched: List[List[ProjectionNode]], kept: int, active: int):
+    def __init__(self, name: str, node: Optional[_TrieNode], kept: int, active: int):
         self.name = name
-        self.matched = matched
+        self.node = node
         self.kept = kept
         self.active = active
 
 
 class SharedProjectionIndex:
-    """Per-plan interest of all registered plans, applied as an event router.
+    """Merged interest of all structure groups, applied as an event router.
 
     :meth:`route` is a push-based stack machine over the single parsed
-    stream: it returns the bitmask of plans (in registration order) that
+    stream: it returns the bitmask of groups (in registration order) that
     need the event.  A zero mask means the event is skipped *once* for all
-    of them; the savings — global and per query — are recorded in the pass
-    metrics (per-query counters are written by :meth:`finalize_metrics`).
+    of them; the savings — global and per subscriber — are recorded in the
+    pass metrics (per-query counters are written by
+    :meth:`finalize_metrics`, which expands each group's tally to all its
+    subscriber keys).
+
+    Construction merges every group's static interest into shared tables
+    so the hot loop never iterates the groups: a path trie over the
+    projection trees (:class:`_TrieNode`) and per-name group masks for
+    keep/interesting/condition names.  All per-event work is a handful of
+    dict lookups and mask operations whose width is the number of
+    *distinct plan structures* — registering ten thousand aliases of one
+    hundred structures routes on one-hundred-bit masks.
+
+    ``keys`` names the subscribers: one entry per profile, each either a
+    single key or a sequence of keys (the group's subscribers, fan-out
+    handled downstream by the pass).
 
     Lifecycle: one index per pass, fed exactly one document's events in
     order by one driver; it is not reusable across documents (the element
@@ -164,34 +221,65 @@ class SharedProjectionIndex:
         self,
         profiles: Iterable[PlanProfile],
         metrics: Optional[PassMetrics] = None,
-        keys: Optional[List[str]] = None,
+        keys: Optional[List[object]] = None,
     ):
         profiles = list(profiles)
         self.metrics = metrics if metrics is not None else PassMetrics()
-        self.keys = list(keys) if keys is not None else [f"q{i}" for i in range(len(profiles))]
-        if len(self.keys) != len(profiles):
-            raise ValueError("one key per profile required")
+        if keys is None:
+            key_groups: List[List[str]] = [[f"q{i}"] for i in range(len(profiles))]
+        else:
+            key_groups = [
+                [group] if isinstance(group, str) else list(group) for group in keys
+            ]
+        if len(key_groups) != len(profiles):
+            raise ValueError("one key (or key group) per profile required")
+        #: Subscriber keys per group, in registration order.
+        self.keys: List[List[str]] = key_groups
         self._count = len(profiles)
         self.full_mask = (1 << self._count) - 1
-        self._projections = [profile.projection for profile in profiles]
-        self._keep_names = [profile.keep_names for profile in profiles]
-        self._interesting_names = [set(profile.interesting_names) for profile in profiles]
-        self._condition_types = [profile.condition_types for profile in profiles]
         self._keep_everything_mask = 0
+        self._root_keep_mask = 0
+        root = _TrieNode()
+        keep_name_masks: Dict[str, int] = {}
+        interesting_masks: Dict[str, int] = {}
+        condition_masks: Dict[str, int] = {}
         for i, profile in enumerate(profiles):
+            bit = 1 << i
             if profile.keep_everything:
-                self._keep_everything_mask |= 1 << i
-            _projection_names(profile.projection, self._interesting_names[i])
+                self._keep_everything_mask |= bit
+            if profile.projection.keep_subtree:
+                self._root_keep_mask |= bit
+            _merge_projection(root, profile.projection, bit)
+            for name in profile.keep_names:
+                keep_name_masks[name] = keep_name_masks.get(name, 0) | bit
+            interesting = set(profile.interesting_names)
+            _projection_names(profile.projection, interesting)
+            for name in interesting:
+                interesting_masks[name] = interesting_masks.get(name, 0) | bit
+            for name in profile.condition_types:
+                condition_masks[name] = condition_masks.get(name, 0) | bit
+        self._root = root
+        # Per-name group masks, built once here so the event loop never
+        # reconstructs a mask: route() only reads them with .get(name, 0).
+        self._keep_name_masks = keep_name_masks
+        self._interesting_masks = interesting_masks
+        self._condition_masks = condition_masks
         self._stack: List[_Frame] = []
         self._skip_depth = 0
-        # Tallied per distinct mask, expanded per plan by finalize_metrics()
-        # (cheaper than touching N counters on every event).
+        # Tallied per distinct mask, expanded per group (then per
+        # subscriber) by finalize_metrics() — cheaper than touching N
+        # counters on every event.
         self._mask_counts: Dict[int, int] = {}
+
+    @property
+    def group_count(self) -> int:
+        """Distinct structure groups (the routing-mask bit width)."""
+        return self._count
 
     # ------------------------------------------------------------- router
 
     def route(self, event: Event) -> int:  # hot-loop
-        """The bitmask of plans ``event`` must be forwarded to.
+        """The bitmask of structure groups ``event`` must be forwarded to.
 
         The per-event function of the whole service — every lookup it
         repeats is paid once per parser event, so shared state is hoisted
@@ -245,74 +333,44 @@ class SharedProjectionIndex:
         name = event.name
         metrics = self.metrics
         stack = self._stack
-        keep_everything = self._keep_everything_mask
-        keep_names = self._keep_names
-        count = self._count
-        no_nodes = _NO_NODES
+        keep_mask_for = self._keep_name_masks.get
         if not stack:
             # The document root: the spine of every document-rooted path —
-            # every plan receives it.  One visit per pass, so this branch
-            # may allocate freely.
+            # every group receives it.  One visit per pass.
+            root_child = self._root.children.get(name)
+            kept = (
+                self._keep_everything_mask
+                | self._root_keep_mask
+                | keep_mask_for(name, 0)
+            )
+            if root_child is not None:
+                kept |= root_child.keep_mask
             active = self.full_mask
-            kept = keep_everything
-            matched: List[List[ProjectionNode]] = []  # hot-loop-ok: root only
-            for i in range(count):
-                projection = self._projections[i]
-                node = projection.children.get(name)
-                plan_matched = [node] if node is not None else []  # hot-loop-ok: root only
-                if (
-                    projection.keep_subtree
-                    or name in keep_names[i]
-                    or (node is not None and node.keep_subtree)
-                ):
-                    kept |= 1 << i
-                matched.append(plan_matched)
-            stack.append(_Frame(name, matched, kept, active))  # hot-loop-ok: root only
+            stack.append(_Frame(name, root_child, kept, active))  # hot-loop-ok: root only
             metrics.events_forwarded += 1
             return active
         parent = stack[-1]
-        parent_matched = parent.matched
-        parent_keep = parent.kept | keep_everything
-        parent_name = parent.name
-        interesting_names = self._interesting_names
-        condition_types = self._condition_types
-        active = 0
-        kept = 0
-        # hot-loop-ok: one frame state per open element, depth-bounded
-        matched = [no_nodes] * count
-        remaining = parent.active
-        while remaining:
-            bit = remaining & -remaining
-            remaining ^= bit
-            i = bit.bit_length() - 1
-            plan_kept = bool(bit & parent_keep) or name in keep_names[i]
-            # The shared empty list covers the common no-match case; a
-            # plan's first projection match must materialize its own list.
-            plan_matched = no_nodes
-            for node in parent_matched[i]:
-                child = node.children.get(name)
-                if child is not None:
-                    if plan_matched:
-                        plan_matched.append(child)
-                    else:
-                        plan_matched = [child]  # hot-loop-ok: first match only
-                    plan_kept = plan_kept or child.keep_subtree
-            if (
-                plan_kept
-                or plan_matched
-                or name in interesting_names[i]
-                or parent_name in condition_types[i]
-            ):
-                active |= bit
-                if plan_kept:
-                    kept |= bit
-                matched[i] = plan_matched
+        parent_node = parent.node
+        kept = parent.kept | keep_mask_for(name, 0)
+        match = 0
+        node = None
+        if parent_node is not None:
+            node = parent_node.children.get(name)
+            if node is not None:
+                kept |= node.keep_mask
+                match = node.mask
+        active = parent.active & (
+            kept
+            | match
+            | self._interesting_masks.get(name, 0)
+            | self._condition_masks.get(parent.name, 0)
+        )
         if active:
             # hot-loop-ok: one frame per retained open element (depth-bounded)
-            stack.append(_Frame(name, matched, kept, active))
+            stack.append(_Frame(name, node, kept, active))
             metrics.events_forwarded += 1
             return active
-        # Irrelevant to every query and invisible to every condition:
+        # Irrelevant to every group and invisible to every condition:
         # prune the whole subtree once, for all runtimes.
         self._skip_depth = 1
         metrics.subtrees_pruned += 1
@@ -321,8 +379,8 @@ class SharedProjectionIndex:
 
     # ------------------------------------------------------------ metrics
 
-    def per_plan_forwarded(self) -> List[int]:
-        """Events routed to each plan so far, in registration order."""
+    def per_group_forwarded(self) -> List[int]:
+        """Events routed to each structure group so far, in order."""
         counts = [0] * self._count
         for mask, count in self._mask_counts.items():
             i = 0
@@ -340,16 +398,17 @@ class SharedProjectionIndex:
         query; ``per_query_pruned[key]`` counts the events some *other*
         query needed but this one did not — the routing win over PR 1's
         union filter, which would have delivered all
-        ``events_forwarded`` events to every session.
+        ``events_forwarded`` events to every session.  Every subscriber of
+        a structure group gets the group's tally: aliases ride the shared
+        session, so they were routed exactly its events.
         """
         forwarded = self.metrics.events_forwarded
-        for key, routed in zip(self.keys, self.per_plan_forwarded()):
-            self.metrics.per_query_forwarded[key] = routed
-            self.metrics.per_query_pruned[key] = forwarded - routed
-
-
-#: Shared empty per-plan match list (most plans match nothing at most depths).
-_NO_NODES: List[ProjectionNode] = []
+        per_forwarded = self.metrics.per_query_forwarded
+        per_pruned = self.metrics.per_query_pruned
+        for group_keys, routed in zip(self.keys, self.per_group_forwarded()):
+            for key in group_keys:
+                per_forwarded[key] = routed
+                per_pruned[key] = forwarded - routed
 
 
 def _projection_names(node: ProjectionNode, into: Set[str]) -> None:

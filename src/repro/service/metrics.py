@@ -44,6 +44,9 @@ class PassMetrics:
     """Counters for one shared pass over one document."""
 
     queries: int = 0
+    #: Distinct plan structures evaluated (``<= queries``; each structure
+    #: runs one evaluator session whose output fans out to its aliases).
+    structures: int = 0
     document_bytes: int = 0
     parser_events: int = 0
     events_forwarded: int = 0
@@ -67,6 +70,7 @@ class PassMetrics:
     def as_dict(self) -> Dict[str, float]:
         return {
             "queries": self.queries,
+            "structures": self.structures,
             "document_bytes": self.document_bytes,
             "parser_events": self.parser_events,
             "events_forwarded": self.events_forwarded,
@@ -89,6 +93,14 @@ class ServiceMetrics:
     #: Registrations displaced by re-registering their key.  The live-query
     #: invariant is ``registered - unregistered - replaced == len(service)``.
     queries_replaced: int = 0
+    #: Distinct plan structures acquired (first registration of a
+    #: structure) and fully released (last alias dropped).  The live-
+    #: structure invariant is ``acquired - released == structure count``.
+    structures_registered: int = 0
+    structures_released: int = 0
+    #: Registrations that joined an already-live structure instead of
+    #: bringing a new one — the dedup win.
+    queries_deduped: int = 0
     passes_completed: int = 0
     parser_events_total: int = 0
     events_forwarded_total: int = 0
@@ -116,6 +128,9 @@ class ServiceMetrics:
             "queries_registered": self.queries_registered,
             "queries_unregistered": self.queries_unregistered,
             "queries_replaced": self.queries_replaced,
+            "structures_registered": self.structures_registered,
+            "structures_released": self.structures_released,
+            "queries_deduped": self.queries_deduped,
             "passes_completed": self.passes_completed,
             "parser_events_total": self.parser_events_total,
             "events_forwarded_total": self.events_forwarded_total,
@@ -152,9 +167,11 @@ class PoolMetrics:
     events_pruned_total: int = 0
     text_events_dropped_total: int = 0
     elapsed_seconds_total: float = 0.0
-    #: Plan artifacts shipped to worker processes (registration channel
-    #: sends: initial spawns, registration changes, crash respawns).  Zero
-    #: for the in-process backends, which share plans by reference.
+    #: Plan artifacts shipped to worker processes — one per *distinct
+    #: structure* per worker send occasion (initial spawns, first
+    #: registration of a structure, crash respawns); alias subscriptions
+    #: are not counted.  Zero for the in-process backends, which share
+    #: plans by reference.
     ship_count: int = 0
     #: Total pickled-plan payload bytes shipped to worker processes.
     ship_bytes: int = 0

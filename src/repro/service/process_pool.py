@@ -7,18 +7,24 @@ honestly).  :class:`ProcessServicePool` is the same pool architecture with
 the workers moved into separate *processes*, where evaluation runs truly
 in parallel on separate cores:
 
-* **compile once, ship everywhere** — the parent compiles every
+* **compile once, ship once per structure** — the parent compiles every
   registration through the shared
   :class:`~repro.runtime.plan_cache.PlanCache` (one optimizer run per
-  distinct query, exactly like the in-process pools) and ships the
-  resulting :class:`~repro.runtime.plan_cache.PlanArtifact` — query
-  source + DTD fingerprint + pickled plan — to each worker over its
-  registration channel.  Workers rebuild the plan with
+  distinct query, exactly like the in-process pools), dedups the results
+  by :func:`~repro.runtime.plan_cache.structure_key`, and ships one
+  :class:`~repro.runtime.plan_cache.PlanArtifact` — query source + DTD
+  fingerprint + pickled plan — *per distinct structure* to each worker;
+  registrations then subscribe to shipped structures by key, so 10k
+  aliases of 100 structures cost 100 artifact sends per worker, not 10k.
+  Workers rebuild each plan once with
+  :meth:`~repro.runtime.plan_cache.PlanArtifact.load_plan` and register
+  aliases against it with
   :meth:`~repro.service.service.QueryService.register_compiled`; they
   never parse, never optimize, and (under the default ``spawn`` start
   method) provably cannot be reusing the parent's in-memory plans.
   Shipping volume is reported as ``ship_count`` / ``ship_bytes`` on
-  :class:`~repro.service.metrics.PoolMetrics`.
+  :class:`~repro.service.metrics.PoolMetrics` (artifact sends only —
+  alias subscriptions are a few bytes and not counted).
 * **sharding with backpressure** — :meth:`serve` assigns each document to
   an idle worker and yields :class:`~repro.service.service.ServedDocument`
   results as they complete, tagged with ``worker`` and source ``index``.
@@ -50,8 +56,10 @@ process sentinels, so results and deaths are both events, not polls.
 :class:`~repro.service.service.QueryService` and consumes a single FIFO
 inbox carrying both control and work messages, in order::
 
-    ("register", key, artifact)        rebuild + register a shipped plan
+    ("plan", skey, artifact)           rebuild + stash one structure's plan
+    ("register", key, skey, source)    register an alias of a shipped plan
     ("unregister", key)                drop a registration
+    ("drop", skey)                     discard a plan no registration uses
     ("doc", index, document, chunk)    run one pass, reply on the result pipe
     ("stop",)                          exit cleanly (EOF on the inbox, too)
 
@@ -95,11 +103,15 @@ from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.schema import DTD
 from repro.errors import WorkerCrashError
 from repro.obs import MemorySink, Observability, Tracer, new_trace_id
-from repro.runtime.plan_cache import PlanArtifact, PlanCache
+from repro.runtime.plan_cache import PlanArtifact, PlanCache, structure_key
 from repro.service.metrics import PassMetrics, ServiceMetrics
 from repro.service.pool_core import PoolCore
 from repro.service.service import QueryService, ServedDocument
-from repro.service.session import RegisteredQuery, record_pass_observations
+from repro.service.session import (
+    PlanStructure,
+    RegisteredQuery,
+    record_pass_observations,
+)
 
 #: Upper bound (seconds) on one `connection.wait` — results and process
 #: deaths are both wait events, so this is a safety net against missed
@@ -243,7 +255,10 @@ def _worker_main(
 
     Top-level (not a closure) so the ``spawn`` start method can import it.
     The service compiles nothing: every plan arrives as a shipped artifact
-    and is registered with ``register_compiled``.  Each served document is
+    — once per distinct structure (``plan`` messages, stashed by structure
+    key) — and registrations subscribe to stashed plans by key
+    (``register`` messages), through ``register_compiled``.  Each served
+    document is
     answered with one ``("served", index, ServedDocument, compiled_here,
     spans)`` message on this worker's own result pipe; ``compiled_here``
     (the worker's plan-cache miss counter) lets the parent *verify* the
@@ -262,6 +277,11 @@ def _worker_main(
     span_sink = MemorySink() if observe else None
     worker_obs = Observability(tracer=Tracer(span_sink)) if observe else None
     service = QueryService(dtd, validate=validate, execution=execution, obs=worker_obs)
+    # Shipped plans by structure key: each artifact is unpickled once and
+    # every alias registration reuses the same plan object, so the
+    # service-side dedup (structure keys are memoized on the entry) is
+    # cheap in the worker too.
+    plans: Dict[str, "CompiledQueryPlan"] = {}
     while True:
         try:
             message = inbox.recv()
@@ -270,11 +290,16 @@ def _worker_main(
         kind = message[0]
         if kind == "stop":
             break
-        if kind == "register":
-            _, key, artifact = message
-            service.register_compiled(artifact.load_plan(), key=key)
+        if kind == "plan":
+            _, skey, artifact = message
+            plans[skey] = artifact.load_plan()
+        elif kind == "register":
+            _, key, skey, source = message
+            service.register_compiled(plans[skey], key=key, source=source)
         elif kind == "unregister":
             service.unregister(message[1])
+        elif kind == "drop":
+            plans.pop(message[1], None)
         elif kind == "doc":
             _, index, document, chunk_size, trace_id = message
             try:
@@ -383,7 +408,12 @@ class ProcessServicePool(PoolCore):
         self._crash_marker = _crash_marker
         self._dtd_blob = pickle.dumps(self.dtd, protocol=pickle.HIGHEST_PROTOCOL)
         self._registrations: Dict[str, RegisteredQuery] = {}
-        self._artifacts: "Dict[str, PlanArtifact]" = {}
+        # Structure-level dedup mirror: one live PlanStructure and one
+        # pickled artifact per distinct structure key, refcounted by the
+        # registrations subscribed to it (same discipline as
+        # QueryService's own structure table).
+        self._structures: "Dict[str, PlanStructure]" = {}
+        self._structure_artifacts: "Dict[str, PlanArtifact]" = {}
         self._slots = [_WorkerSlot() for _ in range(workers)]
         # Parent-side mirror of each worker's cumulative pass metrics,
         # rebuilt from the PassMetrics every served document carries home.
@@ -403,31 +433,69 @@ class ProcessServicePool(PoolCore):
 
     def _mirror_register(self, query: str, key: str) -> RegisteredQuery:
         # Compile (or hit) in the parent — the only optimizer run for this
-        # query across the whole pool — then ship the artifact to every
-        # live worker.  Workers spawned later get the full artifact set at
-        # spawn, through the same counted path.
+        # query across the whole pool — then ship *per structure*: the
+        # first registration of a structure ships its artifact to every
+        # live worker, later aliases send only a tiny subscription
+        # message.  Workers spawned later get the full deduped artifact
+        # set at spawn, through the same counted path.
         entry, from_cache = self.plan_cache.get_or_compile(query, self._pipeline)
-        registration = RegisteredQuery(key, entry, from_cache=from_cache)
-        artifact = PlanArtifact.from_plan(entry)
-        replacing = key in self._registrations
+        skey = structure_key(entry)
+        structure = self._structures.get(skey)
+        new_structure = structure is None
+        if structure is None:
+            structure = PlanStructure(skey, entry)
+            self._structures[skey] = structure
+            self._structure_artifacts[skey] = PlanArtifact.from_plan(entry)
+        structure.refcount += 1
+        registration = RegisteredQuery(
+            key, entry, from_cache=from_cache, structure=structure, source=query
+        )
+        displaced = self._registrations.get(key)
         self._registrations[key] = registration
-        self._artifacts[key] = artifact
         if self._started:
+            artifact = self._structure_artifacts[skey]
             for slot in self._slots:
                 if slot.alive:
                     try:
-                        self._ship(slot, key, artifact)
+                        if new_structure:
+                            self._ship(slot, skey, artifact)
+                        slot.inbox.send(("register", key, skey, query))
                     except (BrokenPipeError, OSError):
                         pass  # died under us; respawn re-ships everything
+        if displaced is not None:
+            # Release after acquiring: replacing an alias with another
+            # alias of the same structure must not drop the shared plan.
+            self._release_structure(displaced)
         for metrics in self._slot_metrics:
-            if replacing:
+            if displaced is not None:
                 metrics.queries_replaced += 1
             metrics.queries_registered += 1
         return registration
 
+    def _release_structure(self, registration: RegisteredQuery) -> None:
+        """Drop one registration's structure subscription (parent side).
+
+        The last subscriber's release discards the parent's artifact and
+        tells every live worker to discard its stashed plan.
+        """
+        structure = registration.structure
+        structure.refcount -= 1
+        if (
+            structure.refcount == 0
+            and self._structures.get(structure.skey) is structure
+        ):
+            del self._structures[structure.skey]
+            del self._structure_artifacts[structure.skey]
+            if self._started:
+                for slot in self._slots:
+                    if slot.alive:
+                        try:
+                            slot.inbox.send(("drop", structure.skey))
+                        except (BrokenPipeError, OSError):
+                            pass  # died under us; respawn re-ships everything
+
     def _mirror_unregister(self, key: str) -> None:
-        del self._registrations[key]
-        del self._artifacts[key]
+        registration = self._registrations.pop(key)
         if self._started:
             for slot in self._slots:
                 if slot.alive:
@@ -435,6 +503,7 @@ class ProcessServicePool(PoolCore):
                         slot.inbox.send(("unregister", key))
                     except (BrokenPipeError, OSError):
                         pass  # died under us; respawn re-ships everything
+        self._release_structure(registration)
         for metrics in self._slot_metrics:
             metrics.queries_unregistered += 1
 
@@ -450,6 +519,11 @@ class ProcessServicePool(PoolCore):
         return dict(self._registrations)
 
     @property
+    def structures(self) -> "Dict[str, PlanStructure]":
+        """Live shipped structures by key (the parent's refcounted view)."""
+        return dict(self._structures)
+
+    @property
     def workers(self) -> int:
         return len(self._slots)
 
@@ -458,17 +532,17 @@ class ProcessServicePool(PoolCore):
     def _ship(
         self,
         slot: _WorkerSlot,
-        key: str,
+        skey: str,
         artifact: PlanArtifact,
         trace_id: Optional[str] = None,
     ) -> None:
         started = time.perf_counter()
-        slot.inbox.send(("register", key, artifact))
+        slot.inbox.send(("plan", skey, artifact))
         self._ship_count += 1
         self._ship_bytes += len(artifact.payload)
         if self.obs is not None:
             self.obs.log(
-                "pool.ship", key=key, bytes=len(artifact.payload), trace_id=trace_id
+                "pool.ship", key=skey, bytes=len(artifact.payload), trace_id=trace_id
             )
             # A ship span only inside a document's trace (a crash-respawn
             # re-shipment): registration-time shipping has no trace to join.
@@ -477,7 +551,7 @@ class ProcessServicePool(PoolCore):
                     "pool.ship",
                     trace_id,
                     time.perf_counter() - started,
-                    key=key,
+                    key=skey,
                     bytes=len(artifact.payload),
                 )
 
@@ -511,8 +585,14 @@ class ProcessServicePool(PoolCore):
         # result pipe then track the worker's life, not ours.
         inbox_read.close()
         results_write.close()
-        for key, artifact in self._artifacts.items():
-            self._ship(slot, key, artifact, trace_id=trace_id)
+        # Re-ship the deduped set: one artifact per live structure, then
+        # the alias subscriptions in registration order.
+        for skey, artifact in self._structure_artifacts.items():
+            self._ship(slot, skey, artifact, trace_id=trace_id)
+        for key, registration in self._registrations.items():
+            slot.inbox.send(
+                ("register", key, registration.structure.skey, registration.source)
+            )
 
     def _ensure_started(self) -> None:
         if self._closed:

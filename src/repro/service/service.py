@@ -54,9 +54,9 @@ from repro.errors import PassInProgressError
 from repro.obs import Observability
 from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EXECUTION_MODES
-from repro.runtime.plan_cache import PlanCache, dtd_fingerprint
+from repro.runtime.plan_cache import PlanCache, dtd_fingerprint, structure_key
 from repro.service.metrics import PassMetrics, ServiceMetrics
-from repro.service.session import RegisteredQuery, SharedPass
+from repro.service.session import PlanStructure, RegisteredQuery, SharedPass
 
 #: Default read granularity when a pass ingests a file-like document.
 _READ_CHUNK = 1 << 16
@@ -131,6 +131,17 @@ class QueryService:
         worker thread per query behind a bounded channel, the PR 1 model)
         or ``"inline"`` (re-entrant evaluations round-robined on the
         feeding thread — no worker threads, no channel hand-off).
+    dedup:
+        Whether structurally identical registrations (same
+        :func:`~repro.runtime.plan_cache.structure_key`: identical
+        computation up to variable renaming and whitespace, same DTD
+        fingerprint and pipeline config) share one
+        :class:`~repro.service.session.PlanStructure` — evaluated once per
+        pass, results fanned out to every subscriber.  Structures are
+        refcounted: unregistering (or replacing) one alias never tears
+        down a structure another registration still uses.  ``False``
+        restores one private structure per registration (the pre-dedup
+        cost model), which the fleet bench uses as its baseline.
     obs:
         An optional :class:`~repro.obs.Observability` hub.  With the
         default ``None`` the service runs the pre-instrumentation code
@@ -149,6 +160,7 @@ class QueryService:
         cache_size: int = 128,
         execution: str = "threads",
         obs: Optional[Observability] = None,
+        dedup: bool = True,
     ):
         if isinstance(dtd, str):
             dtd = parse_dtd(dtd)
@@ -162,8 +174,12 @@ class QueryService:
         self.obs = obs
         self.pipeline = OptimizerPipeline(dtd)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(cache_size)
+        self.dedup = dedup
         self.metrics = ServiceMetrics()
         self._registrations: "Dict[str, RegisteredQuery]" = {}
+        #: Live shared structures by structure key (``dedup=True`` only);
+        #: entries leave when their last subscriber unregisters.
+        self._structures: "Dict[str, PlanStructure]" = {}
         self._counter = 0
         # Weak on purpose: the service must not keep an abandoned pass
         # alive, or its finalizer (which aborts and releases the per-query
@@ -171,6 +187,43 @@ class QueryService:
         self._active_pass_ref: Optional["weakref.ref[SharedPass]"] = None
 
     # ------------------------------------------------------- registration
+
+    def _acquire_structure(self, entry: "CompiledQueryPlan") -> Optional[PlanStructure]:
+        """Subscribe one new registration to its shared structure.
+
+        Returns the live :class:`PlanStructure` for ``entry`` (creating it
+        on first subscription) with its refcount already incremented, or
+        ``None`` with ``dedup=False`` — the registration then builds a
+        private structure of its own.
+        """
+        if not self.dedup:
+            return None
+        skey = structure_key(entry)
+        structure = self._structures.get(skey)
+        if structure is None:
+            structure = PlanStructure(skey, entry)
+            self._structures[skey] = structure
+            self.metrics.structures_registered += 1
+        else:
+            self.metrics.queries_deduped += 1
+        structure.refcount += 1
+        return structure
+
+    def _release_structure(self, registration: RegisteredQuery) -> None:
+        """Drop one registration's subscription; tear down at refcount 0."""
+        structure = registration.structure
+        structure.refcount -= 1
+        if (
+            structure.refcount == 0
+            and self._structures.get(structure.skey) is structure
+        ):
+            del self._structures[structure.skey]
+            self.metrics.structures_released += 1
+
+    @property
+    def structures(self) -> "Dict[str, PlanStructure]":
+        """Live shared structures by key (read-only view by convention)."""
+        return dict(self._structures)
 
     def register(self, query: str, key: Optional[str] = None) -> RegisteredQuery:
         """Register a standing query, compiling it through the plan cache.
@@ -187,9 +240,19 @@ class QueryService:
             self._counter += 1
             key = f"q{self._counter}"
         entry, from_cache = self.plan_cache.get_or_compile(query, self.pipeline)
-        registration = RegisteredQuery(key, entry, from_cache=from_cache)
-        if key in self._registrations:
+        registration = RegisteredQuery(
+            key,
+            entry,
+            from_cache=from_cache,
+            structure=self._acquire_structure(entry),
+            # Echo what this registrant submitted: under plan-cache
+            # interning, entry.source may be an alias's spelling.
+            source=query,
+        )
+        displaced = self._registrations.get(key)
+        if displaced is not None:
             self.metrics.queries_replaced += 1
+            self._release_structure(displaced)
         self._registrations[key] = registration
         self.metrics.queries_registered += 1
         if self.obs is not None:
@@ -197,7 +260,10 @@ class QueryService:
         return registration
 
     def register_compiled(
-        self, entry: "CompiledQueryPlan", key: Optional[str] = None
+        self,
+        entry: "CompiledQueryPlan",
+        key: Optional[str] = None,
+        source: Optional[str] = None,
     ) -> RegisteredQuery:
         """Register an *already compiled* plan — no cache, no optimizer.
 
@@ -222,9 +288,19 @@ class QueryService:
         if key is None:
             self._counter += 1
             key = f"q{self._counter}"
-        registration = RegisteredQuery(key, entry, from_cache=True)
-        if key in self._registrations:
+        registration = RegisteredQuery(
+            key,
+            entry,
+            from_cache=True,
+            structure=self._acquire_structure(entry),
+            # A shipped alias carries its registrant's own spelling; the
+            # artifact's entry may hold the structure's canonical text.
+            source=source,
+        )
+        displaced = self._registrations.get(key)
+        if displaced is not None:
             self.metrics.queries_replaced += 1
+            self._release_structure(displaced)
         self._registrations[key] = registration
         self.metrics.queries_registered += 1
         if self.obs is not None:
@@ -236,9 +312,14 @@ class QueryService:
         return [self.register(query) for query in queries]
 
     def unregister(self, key: str) -> None:
-        """Remove a standing query; unknown keys raise ``KeyError``."""
-        del self._registrations[key]
+        """Remove a standing query; unknown keys raise ``KeyError``.
+
+        Releases the registration's subscription on its shared structure —
+        the structure itself survives while other aliases still hold it.
+        """
+        registration = self._registrations.pop(key)
         self.metrics.queries_unregistered += 1
+        self._release_structure(registration)
         if self.obs is not None:
             self.obs.log("service.unregister", key=key)
 

@@ -1,15 +1,18 @@
 """Registrations and shared-pass sessions of the multi-query service.
 
 A :class:`RegisteredQuery` is one standing query: its source text, its
-cached compilation, and its statically derived
-:class:`~repro.service.dispatcher.PlanProfile`.  A :class:`SharedPass` is
-one push-based scan of one document executing *all* registered queries: the
-service's incremental parser turns text chunks into events, the shared
-dispatcher filters them once, and each query's
-:class:`~repro.runtime.evaluator.EvaluatorSession` consumes the fan-out on
-its own worker.  ``finish()`` joins everything and returns one
-:class:`~repro.engines.base.QueryResult` per query, byte-identical to a
-solo ``FluxEngine.execute`` of the same query over the same document.
+cached compilation, and the :class:`PlanStructure` it subscribes to — the
+distinct computation it shares with every structurally identical
+registration (same :func:`~repro.runtime.plan_cache.structure_key`).  A
+:class:`SharedPass` is one push-based scan of one document executing all
+registered queries: the service's incremental parser turns text chunks
+into events, the shared dispatcher filters them once, and each *structure*
+(not each registration) runs one
+:class:`~repro.runtime.evaluator.EvaluatorSession` consuming the fan-out
+on its own worker.  ``finish()`` joins everything and returns one
+:class:`~repro.engines.base.QueryResult` per registration — aliases of one
+structure receive the same evaluated output — byte-identical to a solo
+``FluxEngine.execute`` of the same query over the same document.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.engines.base import QueryResult
 from repro.obs import Observability, new_span_id, new_trace_id
 from repro.runtime.compiler import CompiledQueryPlan
 from repro.runtime.evaluator import EvaluatorSession
+from repro.runtime.plan_cache import structure_key
 from repro.service.dispatcher import PlanProfile, SharedDispatcher, SharedProjectionIndex
 from repro.service.metrics import PassMetrics
 from repro.xmlstream.parser import StreamingXMLParser
@@ -72,54 +76,119 @@ def record_pass_observations(
     ).observe(pass_metrics.elapsed_seconds)
 
 
+class PlanStructure:
+    """One distinct computation shared by structurally identical registrations.
+
+    Identified by its :func:`~repro.runtime.plan_cache.structure_key`: every
+    registration whose query is the same computation (identical parsed-AST
+    and plan trees up to variable renaming, same DTD fingerprint and
+    pipeline config) subscribes to one ``PlanStructure``, and a shared pass
+    evaluates each structure exactly once.  The service refcounts
+    subscribers so dropping one alias never tears down a structure another
+    registration still needs; ``refcount`` mutates only under the service's
+    single-driver contract (between passes).
+    """
+
+    def __init__(self, skey: str, entry: CompiledQueryPlan):
+        self.skey = skey
+        self.entry = entry
+        self.profile = PlanProfile(entry)
+        #: Live registrations subscribed to this structure.
+        self.refcount = 0
+        #: Shared passes that evaluated this structure.
+        self.passes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PlanStructure({self.skey[:12]!r}, refcount={self.refcount})"
+
+
 class RegisteredQuery:
     """One standing query registered with a :class:`QueryService`.
 
     Lifecycle: created by ``register()``, lives until unregistered or
     replaced, and is *shared* by every pass that snapshots it — the compiled
-    plan and :class:`~repro.service.dispatcher.PlanProfile` are immutable,
-    so reuse across passes is free.  Only ``passes`` mutates (incremented by
+    plan and the :class:`PlanStructure` it subscribes to are immutable, so
+    reuse across passes is free.  Only ``passes`` mutates (incremented by
     each finishing pass), under the service's single-driver contract.
+
+    ``source`` is the text *as registered* — under plan-cache interning the
+    shared ``entry`` may carry an alias's differently-spelled (but
+    structurally identical) text, and results must echo what this
+    registrant submitted.  A registration constructed without an explicit
+    ``structure`` gets a private one (no cross-registration sharing), which
+    is exactly the service's ``dedup=False`` behavior.
     """
 
-    def __init__(self, key: str, entry: CompiledQueryPlan, from_cache: bool):
+    def __init__(
+        self,
+        key: str,
+        entry: CompiledQueryPlan,
+        from_cache: bool,
+        structure: Optional[PlanStructure] = None,
+        source: Optional[str] = None,
+    ):
         self.key = key
         self.entry = entry
         #: Whether registration was served from the plan cache.
         self.from_cache = from_cache
-        self.profile = PlanProfile(entry)
+        if structure is None:
+            # Private structure: no cross-registration sharing, but the
+            # same refcount discipline (this registration is its one
+            # subscriber) so release paths need no special case.
+            structure = PlanStructure(structure_key(entry), entry)
+            structure.refcount = 1
+        self.structure = structure
+        self.source = source if source is not None else entry.source
         self.passes = 0
 
     @property
-    def source(self) -> str:
-        return self.entry.source
+    def profile(self) -> PlanProfile:
+        return self.structure.profile
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RegisteredQuery({self.key!r}, cached={self.from_cache})"
 
 
-class _QueryRun:
-    """One query's execution inside one shared pass."""
+class _StructureRun:
+    """One structure's execution inside one shared pass.
 
-    def __init__(self, registration: RegisteredQuery, dtd: Optional[DTD], execution: str):
-        self.registration = registration
+    Evaluates the structure's plan once and fans the finished output out to
+    every subscribing registration in the pass (:meth:`results`), so N
+    aliases of one computation cost one evaluator session, not N.
+    """
+
+    def __init__(
+        self, group: List[RegisteredQuery], dtd: Optional[DTD], execution: str
+    ):
+        self.group = group
+        self.structure = group[0].structure
         # Validation runs once, in the dispatcher, over the unfiltered
-        # stream; the per-query XSAX readers only track on-first conditions.
+        # stream; the per-structure XSAX readers only track on-first
+        # conditions.
         self.session = EvaluatorSession(
-            registration.entry.plan, dtd, validate=False, execution=execution
+            self.structure.entry.plan, dtd, validate=False, execution=execution
         ).start()
 
     def feed(self, chunk) -> None:
         self.session.feed(chunk)
 
-    def result(self) -> QueryResult:
+    def results(self) -> List[QueryResult]:
+        """Finish the session and build one result per subscriber.
+
+        The evaluated output string is shared by reference across the
+        group's results (it is immutable); each result still echoes its own
+        registration's source text.
+        """
         output, stats = self.session.finish()
-        return QueryResult(
-            output=output,
-            stats=stats,
-            engine=SHARED_ENGINE_NAME,
-            query=self.registration.source,
-        )
+        return [
+            QueryResult(
+                output=output,
+                stats=stats,
+                engine=SHARED_ENGINE_NAME,
+                query=reg.source,
+            )
+            for reg in self.group
+        ]
 
 
 class SharedPass:
@@ -127,11 +196,12 @@ class SharedPass:
 
     Documents are pushed as text with :meth:`feed` (any chunking) and closed
     with :meth:`finish`, which returns ``{key: QueryResult}``.  ``execution``
-    selects how the per-query runtimes are driven: ``"threads"`` (one
-    worker per query behind a bounded channel) or ``"inline"`` (the
-    dispatcher round-robins re-entrant evaluations on the feeding thread).
+    selects how the per-structure runtimes are driven: ``"threads"`` (one
+    worker per distinct structure behind a bounded channel) or ``"inline"``
+    (the dispatcher round-robins re-entrant evaluations on the feeding
+    thread).
 
-    A failing pass (malformed or invalid input) aborts every per-query
+    A failing pass (malformed or invalid input) aborts every per-structure
     session before re-raising, so no worker leaks; an aborted pass rejects
     further :meth:`feed`/:meth:`finish` calls with :class:`ValueError`
     rather than touching its dead sessions.  The pass is also a context
@@ -200,14 +270,23 @@ class SharedPass:
                 execution=execution,
             )
         self._results: Optional[Dict[str, QueryResult]] = None
-        self._runs: List[_QueryRun] = []
+        self._runs: List[_StructureRun] = []
+        # Group registrations by structure identity (aliases of one
+        # computation share a PlanStructure object): one evaluator run and
+        # one routing-index group per structure, insertion-ordered so
+        # results and fan-out stay deterministic.
+        groups: Dict[int, List[RegisteredQuery]] = {}
+        for reg in self._registrations:
+            groups.setdefault(id(reg.structure), []).append(reg)
+        grouped = list(groups.values())
+        self._metrics.structures = len(grouped)
         try:
-            for reg in self._registrations:
-                self._runs.append(_QueryRun(reg, dtd, execution))
+            for group in grouped:
+                self._runs.append(_StructureRun(group, dtd, execution))
             self._index = SharedProjectionIndex(
-                (reg.profile for reg in self._registrations),
+                (run.structure.profile for run in self._runs),
                 self._metrics,
-                keys=[reg.key for reg in self._registrations],
+                keys=[[reg.key for reg in run.group] for run in self._runs],
             )
             validator = StreamingValidator(dtd) if (validate and dtd is not None) else None
             self._dispatcher = SharedDispatcher(
@@ -281,8 +360,10 @@ class SharedPass:
             emit_started = time.perf_counter()
             try:
                 for run in self._runs:
-                    results[run.registration.key] = run.result()
-                    run.registration.passes += 1
+                    for reg, result in zip(run.group, run.results()):
+                        results[reg.key] = result
+                        reg.passes += 1
+                    run.structure.passes += 1
             except BaseException:
                 self.abort()
                 raise
@@ -333,7 +414,7 @@ class SharedPass:
         )
 
     def abort(self) -> None:
-        """Tear down all per-query sessions, discarding partial output.
+        """Tear down all per-structure sessions, discarding partial output.
 
         Idempotent, callable from any state (including mid-construction);
         the first call releases the pass's slot on the owning service.

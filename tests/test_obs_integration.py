@@ -271,6 +271,8 @@ class TestProcessPoolObservability:
     def test_plan_shipping_is_logged(self, served_run):
         obs, _, _, metrics = served_run
         ships = obs.logger.find("pool.ship")
-        # Initial fleet (2 workers x 1 query) plus the respawn re-ship.
+        # Initial fleet (2 workers x 1 query structure) plus the respawn
+        # re-ship.  Shipping is per *structure*, so the logged key is the
+        # structure key, identical across all three sends.
         assert len(ships) == metrics.ship_count == 3
-        assert all(e["key"] == "t" for e in ships)
+        assert len({e["key"] for e in ships}) == 1

@@ -15,6 +15,7 @@ import pickle
 
 import pytest
 
+from repro.bench.fleets import alias_query
 from repro.core.optimizer import OptimizerPipeline
 from repro.engines.flux_engine import FluxEngine
 from repro.runtime.compiler import CompiledQueryPlan, compile_query
@@ -235,3 +236,91 @@ class TestCacheSnapshots:
         cache = PlanCache()
         with pytest.raises(FileNotFoundError):
             cache.load(str(tmp_path / "never-written.bin"))
+
+
+class TestSnapshotStructureSharing:
+    """Version-2 snapshots write one artifact per structure, not per key.
+
+    A fleet of alias registrations interns to one canonical plan in the
+    cache; the snapshot must carry that plan exactly once (unique
+    artifacts plus ``entries`` alias records), and a load must restore the
+    sharing — alias keys hitting the *same* plan object — rather than
+    inflating the file and the loaded cache with N copies.
+    """
+
+    ALIASES = 4
+
+    def _interned_cache(self):
+        cache = PlanCache(capacity=16)
+        pipeline = OptimizerPipeline(BIB_DTD_STRONG)
+        base = queries_for_workload("bib")[0].xquery
+        texts = [alias_query(base, variant) for variant in range(self.ALIASES)]
+        for text in texts:
+            cache.get_or_compile(text, pipeline)
+        assert cache.stats.interned == self.ALIASES - 1
+        return cache, pipeline, texts
+
+    def test_dump_writes_shared_plans_exactly_once(self, tmp_path):
+        cache, _, texts = self._interned_cache()
+        path = str(tmp_path / "plans.bin")
+        # dump() reports *artifacts written*: one for four alias entries.
+        assert cache.dump(path) == 1
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        assert snapshot["version"] == PlanCache.SNAPSHOT_VERSION
+        assert len(snapshot["artifacts"]) == 1
+        assert len(snapshot["entries"]) == len(texts)
+        assert {index for _, index in snapshot["entries"]} == {0}
+
+    def test_load_restores_the_sharing(self, tmp_path):
+        cache, pipeline, texts = self._interned_cache()
+        path = str(tmp_path / "plans.bin")
+        cache.dump(path)
+        fresh = PlanCache(capacity=16)
+        assert fresh.load(path) == len(texts)
+        assert fresh.stats.preloaded == len(texts)
+        assert len(fresh) == len(texts)
+        assert fresh.structure_count() == 1
+        plans = []
+        for text in texts:
+            plan, from_cache = fresh.get_or_compile(text, pipeline)
+            assert from_cache
+            plans.append(plan)
+        # Every alias key answers with the same object — the sharing took
+        # the disk round-trip, it was not re-established by interning here.
+        assert all(plan is plans[0] for plan in plans)
+        assert fresh.stats.interned == 0
+        assert fresh.stats.misses == 0
+
+    def test_loaded_alias_plans_evaluate_byte_identically(self, tmp_path):
+        cache, _, texts = self._interned_cache()
+        path = str(tmp_path / "plans.bin")
+        cache.dump(path)
+        fresh = PlanCache(capacity=16)
+        fresh.load(path)
+        document = generate_bibliography(num_books=8, seed=9)
+        solo = FluxEngine(BIB_DTD_STRONG).execute(texts[0], document).output
+        for text in texts:
+            service = QueryService(
+                BIB_DTD_STRONG, plan_cache=fresh, execution="inline"
+            )
+            service.register(text, key="q")
+            assert service.run_pass(document)["q"].output == solo
+        assert fresh.stats.misses == 0
+
+    def test_version_1_snapshots_still_load(self, tmp_path):
+        # A v1 snapshot has artifacts only — one key each, no alias
+        # records.  Back-compat: it loads, every artifact on its own key.
+        cache, _, texts = self._interned_cache()
+        artifacts = cache.artifacts()
+        path = tmp_path / "v1.bin"
+        path.write_bytes(
+            pickle.dumps(
+                {"format": PlanCache.SNAPSHOT_FORMAT, "version": 1,
+                 "artifacts": [artifacts[0]]}
+            )
+        )
+        fresh = PlanCache()
+        assert fresh.load(str(path)) == 1
+        assert len(fresh) == 1
+        assert fresh.structure_count() == 1

@@ -5,6 +5,7 @@ multi-query service; ``repro.service.plan_cache`` re-exports it."""
 
 import pytest
 
+from repro.bench.fleets import alias_query
 from repro.core.optimizer import OptimizerPipeline
 from repro.dtd.parser import parse_dtd
 from repro.runtime.plan_cache import NO_DTD_FINGERPRINT, PlanCache, cache_key, dtd_fingerprint
@@ -325,3 +326,76 @@ class TestPlanCacheConcurrency:
         entry, from_cache = cache.get_or_compile(PAPER_Q3, strong_pipeline)
         assert entry is not None and not from_cache
         assert len(attempts) == 2
+
+
+class TestStructuralInterning:
+    """Alias texts (same computation, different spelling) share one plan.
+
+    Interning is keyed by :func:`structure_key` — variables α-renamed
+    away — so the cache holds one canonical plan object per distinct
+    computation, however many text keys point at it, and eviction of one
+    alias never strands (or prematurely drops) the shared object.
+    """
+
+    def test_alias_text_interns_to_the_cached_canonical_plan(self, strong_pipeline):
+        cache = PlanCache()
+        base, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        alias, from_cache = cache.get_or_compile(
+            alias_query(PAPER_Q3, 1), strong_pipeline
+        )
+        # A distinct text is still a compile (miss)...
+        assert not from_cache
+        assert cache.stats.misses == 2
+        # ...but the *stored and returned* plan is the canonical object.
+        assert alias is base
+        assert cache.stats.interned == 1
+        assert len(cache) == 2
+        assert cache.structure_count() == 1
+
+    def test_distinct_structures_never_intern(self, strong_pipeline):
+        cache = PlanCache()
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(get_query("BIB-Q1").xquery, strong_pipeline)
+        assert cache.stats.interned == 0
+        assert cache.structure_count() == 2
+
+    def test_structure_survives_eviction_of_one_alias(self, strong_pipeline):
+        cache = PlanCache(capacity=2)
+        base, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(alias_query(PAPER_Q3, 1), strong_pipeline)
+        # Evicts the LRU alias entry (the base text), one of the two
+        # entries sharing the structure — the canonical plan must survive
+        # for the remaining alias.
+        cache.get_or_compile(get_query("BIB-Q1").xquery, strong_pipeline)
+        assert cache.stats.evictions == 1
+        assert cache.structure_count() == 2
+        third, _ = cache.get_or_compile(alias_query(PAPER_Q3, 2), strong_pipeline)
+        assert third is base  # still interning against the survivor
+        assert cache.stats.interned == 2
+        # Inserting the third alias evicted the second — the last other
+        # holder of the structure — yet the structure table still maps the
+        # skey to the shared object the new entry carries.
+        assert cache.structure_count() == 2
+
+    def test_structure_is_released_with_its_last_entry(self, strong_pipeline):
+        cache = PlanCache(capacity=1)
+        old, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(get_query("BIB-Q1").xquery, strong_pipeline)
+        assert cache.stats.evictions == 1
+        assert cache.structure_count() == 1  # the old structure is gone
+        fresh, from_cache = cache.get_or_compile(
+            alias_query(PAPER_Q3, 1), strong_pipeline
+        )
+        # Nothing left to intern against: a fresh canonical is compiled.
+        assert not from_cache
+        assert fresh is not old
+        assert cache.stats.interned == 0
+
+    def test_clear_drops_structures_too(self, strong_pipeline):
+        cache = PlanCache()
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.get_or_compile(alias_query(PAPER_Q3, 1), strong_pipeline)
+        cache.clear()
+        assert cache.structure_count() == 0
+        refetched, from_cache = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert not from_cache and refetched is not None

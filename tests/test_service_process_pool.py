@@ -5,9 +5,10 @@ every (document, query) pair, fault isolation for failing documents — and
 adds the process-specific guarantees:
 
 * **compile-once across the process boundary**: the parent's plan cache
-  pays exactly one miss per distinct query, the artifacts ship to every
-  worker (``ship_count == workers × queries``), and the workers report
-  zero optimizer runs of their own;
+  pays exactly one miss per distinct query, one artifact per distinct
+  *structure* ships to every worker (``ship_count == workers ×
+  structures`` — alias registrations ride on a shipped plan for free),
+  and the workers report zero optimizer runs of their own;
 * **crash recovery**: a worker process dying mid-document (injected with
   the pool's fault marker) surfaces as an error-tagged ``ServedDocument``
   carrying :class:`WorkerCrashError`, the slot respawns (plans re-shipped),
@@ -21,6 +22,7 @@ import io
 
 import pytest
 
+from repro.bench.fleets import alias_query
 from repro.engines.flux_engine import FluxEngine
 from repro.errors import WorkerCrashError, XMLSyntaxError
 from repro.runtime.plan_cache import PlanCache
@@ -340,3 +342,87 @@ class TestLifecycleAndGuards:
     def test_workers_below_one_rejected(self):
         with pytest.raises(ValueError):
             ProcessServicePool(BIB_DTD_STRONG, workers=0)
+
+
+class TestStructureDedupShipping:
+    """Alias fleets ship one artifact per structure across the pipes.
+
+    ``register_fleet`` above uses two structurally distinct queries, so
+    its ``workers × structures`` equals the old ``workers × queries``;
+    these tests register *aliases* — same computation, different text —
+    where the two formulas diverge, and pin the per-structure one:
+    shipping, crash re-shipping, and drop-on-last-unregister all operate
+    on the deduped set.
+    """
+
+    WORKERS = 2
+
+    def _aliases(self, count=3):
+        return [alias_query(TITLES_QUERY, variant) for variant in range(count)]
+
+    def test_aliases_ship_one_artifact_per_structure(self, documents,
+                                                     solo_outputs):
+        texts = self._aliases()
+        with ProcessServicePool(BIB_DTD_STRONG, workers=self.WORKERS) as pool:
+            for i, text in enumerate(texts):
+                pool.register(text, key=f"a{i}")
+            assert len(pool.structures) == 1
+            (structure,) = pool.structures.values()
+            assert structure.refcount == len(texts)
+            served = list(pool.serve(documents[:2]))
+            assert all(outcome.ok for outcome in served)
+            for outcome in served:
+                for i in range(len(texts)):
+                    produced = outcome.results[f"a{i}"].output
+                    assert produced == solo_outputs[outcome.index]["t"]
+            # One artifact per worker — not one per registration.
+            assert pool.metrics.ship_count == self.WORKERS * 1
+            # Each alias *text* is its own cache miss (compiled once),
+            # then interned against the canonical plan.
+            assert pool.plan_cache.stats.misses == len(texts)
+            assert pool.plan_cache.stats.interned == len(texts) - 1
+            assert pool.worker_compilations() == {0: 0, 1: 0}
+
+    def test_crash_respawn_reships_the_deduped_set(self, documents):
+        texts = self._aliases()
+        crashing = documents[0].replace("</bib>", f"<!--{CRASH}--></bib>")
+        with ProcessServicePool(
+            BIB_DTD_STRONG, workers=self.WORKERS, _crash_marker=CRASH
+        ) as pool:
+            for i, text in enumerate(texts):
+                pool.register(text, key=f"a{i}")
+            served = list(pool.serve([crashing, documents[1]]))
+            assert sorted(outcome.ok for outcome in served) == [False, True]
+            (failure,) = [o for o in served if not o.ok]
+            assert isinstance(failure.error, WorkerCrashError)
+            assert pool.worker_respawns == 1
+            # Respawn re-ships the one deduped artifact (plus re-sends the
+            # three alias subscriptions, which are not plan ships).
+            assert pool.metrics.ship_count == self.WORKERS * 1 + 1
+            # The respawned slot still answers for every alias key.
+            (ok,) = [o for o in served if o.ok]
+            assert set(ok.results) == {f"a{i}" for i in range(len(texts))}
+
+    def test_unregister_to_zero_drops_the_structure_everywhere(self, documents):
+        texts = self._aliases()
+        with ProcessServicePool(BIB_DTD_STRONG, workers=self.WORKERS) as pool:
+            for i, text in enumerate(texts):
+                pool.register(text, key=f"a{i}")
+            pool.unregister("a0")
+            pool.unregister("a1")
+            # A live subscriber keeps the structure (no drop yet)...
+            assert len(pool.structures) == 1
+            (structure,) = pool.structures.values()
+            assert structure.refcount == 1
+            served = list(pool.serve([documents[0]]))
+            assert served[0].ok and set(served[0].results) == {"a2"}
+            # ...and releasing the last one drops it parent-side and in
+            # every worker: re-registering must ship a fresh artifact.
+            pool.unregister("a2")
+            assert pool.structures == {}
+            shipped = pool.metrics.ship_count
+            pool.register(TITLES_QUERY, key="t")
+            assert pool.metrics.ship_count == shipped + self.WORKERS
+            served = list(pool.serve([documents[0]]))
+            assert served[0].ok and set(served[0].results) == {"t"}
+            assert pool.worker_compilations() == {0: 0, 1: 0}

@@ -277,3 +277,36 @@ class TestRegistrationMetrics:
         shared_pass.feed(bib_document)
         results = shared_pass.finish()
         assert results["q"].output == solo.output
+
+
+class TestFleetGroupRouting:
+    """Aliased fleets route per structure group, answer per subscriber."""
+
+    def test_aliases_share_group_tallies_and_match_solo(
+        self, bib_document, bib_solo
+    ):
+        from repro.bench.fleets import make_fleet, run_shared
+
+        specs = queries_for_workload("bib")[:3]
+        fleet = make_fleet([spec.xquery for spec in specs], 9)
+        shared, service = run_shared(
+            fleet, bib_document, dtd=BIB_DTD_STRONG, execution="threads"
+        )
+        metrics = service.metrics.last_pass
+        assert metrics.structures == 3
+        # Every subscriber gets its own counter entry, and aliases of one
+        # structure carry identical tallies (they expand from one group).
+        assert set(metrics.per_query_forwarded) == {q.key for q in fleet}
+        for query in fleet:
+            group_lead = fleet[query.structure]
+            assert (
+                metrics.per_query_forwarded[query.key]
+                == metrics.per_query_forwarded[group_lead.key]
+            )
+            assert (
+                metrics.per_query_pruned[query.key]
+                == metrics.per_query_pruned[group_lead.key]
+            )
+            # ...and its output is byte-identical to the solo run of the
+            # structure's base query.
+            assert shared[query.key] == bib_solo[specs[query.structure].key]
