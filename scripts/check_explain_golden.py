@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Golden-output check for ``repro explain`` (run by the CI docs job).
+
+Renders the analyzer report for ``examples/explain_golden.xq`` against
+``examples/explain_golden.dtd`` and byte-compares it with the committed
+``examples/explain_golden.explain.txt``.  The report is cut at the
+"== Optimizer timings ==" section (wall-clock numbers vary run to run);
+everything the docs show — plan DAG, buffer-bound classes, predicted
+cost, chosen execution mode — is golden.  The machine-dependent policy
+inputs (CPU count, document size/count) are pinned on the command line
+so the report is identical on every runner.
+
+Usage:
+    python scripts/check_explain_golden.py            # compare (exit 1 on drift)
+    python scripts/check_explain_golden.py --update   # rewrite the golden file
+"""
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+QUERY = os.path.join(ROOT, "examples", "explain_golden.xq")
+DTD = os.path.join(ROOT, "examples", "explain_golden.dtd")
+GOLDEN = os.path.join(ROOT, "examples", "explain_golden.explain.txt")
+TIMINGS_MARKER = "== Optimizer timings =="
+
+# Pinned policy inputs: the mode decision must not depend on the runner.
+EXPLAIN_ARGS = [
+    "--cpus", "2",
+    "--document-bytes", str(1 << 20),
+    "--document-count", "8",
+]
+
+
+def render() -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "explain", "-q", QUERY, "-d", DTD]
+        + EXPLAIN_ARGS,
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+    if completed.returncode != 0:
+        sys.stderr.write(completed.stderr)
+        raise SystemExit(f"repro explain exited {completed.returncode}")
+    report = completed.stdout
+    if TIMINGS_MARKER in report:
+        report = report[: report.index(TIMINGS_MARKER)]
+    return report.rstrip() + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the golden file"
+    )
+    args = parser.parse_args()
+
+    report = render()
+    if args.update:
+        with open(GOLDEN, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {os.path.relpath(GOLDEN, ROOT)}")
+        return 0
+
+    try:
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+    except OSError as exc:
+        print(f"golden file missing: {exc}", file=sys.stderr)
+        return 1
+    if report == golden:
+        print("explain golden output matches")
+        return 0
+    sys.stderr.write(
+        "".join(
+            difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                report.splitlines(keepends=True),
+                fromfile="examples/explain_golden.explain.txt (committed)",
+                tofile="repro explain (current)",
+            )
+        )
+    )
+    print(
+        "explain output drifted from the golden file; regenerate with "
+        "`python scripts/check_explain_golden.py --update` and commit the "
+        "diff if the change is intended",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,7 @@ __all__ = [
     "iter_python_files",
     "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_checkers",
     "run_lint",
@@ -91,17 +92,25 @@ def default_lint_root() -> str:
 
 
 class LintResult:
-    """Outcome of one lint run: findings split against the baseline."""
+    """Outcome of one lint run: findings split against the baseline.
+
+    ``stale`` lists baseline fingerprints that no current finding matches
+    — dead suppressions.  A fixed violation must leave the baseline too,
+    or the suppression would silently swallow a future regression with
+    the same fingerprint (``repro lint --check-baseline`` fails on them).
+    """
 
     def __init__(
         self,
         findings: List[Finding],
         suppressed: int,
         errors: List[str],
+        stale: Optional[List[Fingerprint]] = None,
     ) -> None:
         self.findings = findings
         self.suppressed = suppressed
         self.errors = errors
+        self.stale = list(stale or [])
 
     @property
     def clean(self) -> bool:
@@ -122,10 +131,13 @@ def run_lint(
     """Run the suite over ``paths``, subtracting the baseline if given."""
     findings, errors = run_checkers(list(paths), list(checkers or default_checkers()))
     suppressed = 0
+    stale: List[Fingerprint] = []
     if baseline_path is not None:
         baseline = load_baseline(baseline_path)
+        fired = {finding.fingerprint for finding in findings}
+        stale = sorted(baseline - fired)
         findings, suppressed = apply_baseline(findings, baseline)
-    return LintResult(findings, suppressed, errors)
+    return LintResult(findings, suppressed, errors, stale=stale)
 
 
 def render_text(result: LintResult) -> str:
@@ -158,5 +170,73 @@ def render_json(result: LintResult) -> str:
         "suppressed": result.suppressed,
         "errors": list(result.errors),
         "summary": {"findings": len(result.findings)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report (GitHub code scanning's upload format).
+
+    One run with one driver (``repro-lint``); every documented finding
+    code becomes a rule so annotations link back to rule descriptions.
+    ``partialFingerprints`` carries the same stable fingerprint the
+    baseline machinery uses, letting code scanning track a finding across
+    commits exactly like the baseline does.  File paths are emitted
+    repo-relative when possible (uploads resolve them against the
+    checkout root).
+    """
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for code, description in sorted(all_codes().items())
+    ]
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results = []
+    for finding in result.findings:
+        path = os.path.relpath(finding.path, os.getcwd())
+        if path.startswith(".."):
+            path = finding.path
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index.get(finding.code, -1),
+                "level": "warning",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": path.replace(os.sep, "/"),
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {"startLine": max(finding.line, 1)},
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "reproLint/v1": "|".join(finding.fingerprint)
+                },
+            }
+        )
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,225 @@
+"""Cardinality and per-event cost estimation.
+
+Folds the automaton fan-out estimates with the plan's projection paths
+and condition arity into a single comparable score per query:
+
+``events_routed``
+    Parser events the router must deliver to this plan per document,
+    estimated by walking the projection tree with per-axis counts from
+    :func:`repro.analysis.query.bounds.estimate_count` (whole-subtree
+    keeps expand to estimated subtree events).
+``items_buffered``
+    Items parked in ``on-first`` buffers per document: handler firing
+    cardinality × estimated items per firing.
+``per_event_cost``
+    Relative work per routed event, grown by handler count and on-first
+    condition arity (each label widens the router's match set).
+
+``score = events_routed × per_event_cost + weight × items_buffered`` —
+an abstract unit meant for *ranking* queries and sizing fleets, not for
+wall-clock prediction.  Observed pass metrics persisted with plan-cache
+snapshots can recalibrate the event estimate
+(:func:`apply_observations`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Set
+
+from repro.analysis.query.bounds import (
+    BufferedAxis,
+    PlanBufferAnalysis,
+    classify_plan,
+    estimate_count,
+)
+from repro.dtd.model import INFINITY
+from repro.engines.projection_engine import ProjectionNode, projection_paths
+from repro.xquery.analysis import WHOLE_SUBTREE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.runtime.compiler import CompiledQueryPlan
+    from repro.runtime.plan_cache import PlanObservations
+
+#: Start/end/text events one element node contributes on average.
+EVENTS_PER_NODE = 3.0
+#: Score units one buffered item costs relative to one routed event.
+BUFFER_ITEM_WEIGHT = 4.0
+#: Node estimate for subtrees without a static bound (recursion, ``ANY``,
+#: undeclared elements, or no DTD).
+UNBOUNDED_SUBTREE_NODES = 64.0
+#: Rough serialized size of one parser event, used to turn document bytes
+#: into an event estimate for mode selection.
+BYTES_PER_EVENT = 24.0
+
+
+def estimate_subtree_nodes(dtd: Optional[object], name: str) -> float:
+    """Estimated element nodes in one subtree rooted at ``name``.
+
+    Exact products of automaton maxima where bounded, with repeating axes
+    clamped to :data:`~repro.analysis.query.bounds.REPEAT_ESTIMATE` and
+    unbounded structures (recursion, ``ANY``, undeclared) clamped to
+    :data:`UNBOUNDED_SUBTREE_NODES`.
+    """
+    if dtd is None:
+        return UNBOUNDED_SUBTREE_NODES
+
+    def nodes(element: str, seen: Set[str]) -> float:
+        if element == "#document":
+            root = str(dtd.root)  # type: ignore[attr-defined]
+            return nodes(root, seen)
+        if element in seen:
+            return UNBOUNDED_SUBTREE_NODES
+        has_element = bool(dtd.has_element(element))  # type: ignore[attr-defined]
+        if not has_element:
+            return UNBOUNDED_SUBTREE_NODES
+        total = 1.0
+        seen = seen | {element}
+        for label in dtd.element(element).child_labels():  # type: ignore[attr-defined]
+            count = estimate_count(dtd, element, label)
+            total += count * nodes(str(label), seen)
+        return min(total, 1e9)
+
+    return nodes(name, set())
+
+
+def estimate_document_events(dtd: Optional[object]) -> float:
+    """Estimated parser events for one document conforming to ``dtd``."""
+    if dtd is None:
+        return EVENTS_PER_NODE * UNBOUNDED_SUBTREE_NODES
+    return EVENTS_PER_NODE * estimate_subtree_nodes(dtd, "#document")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted per-document cost of one compiled query."""
+
+    events_routed: float
+    items_buffered: float
+    per_event_cost: float
+    document_events: float
+    score: float
+    observed_passes: int = 0  # > 0 once calibrated against pass metrics
+
+    @property
+    def cost_per_event(self) -> float:
+        """Score normalized by the document's estimated event count."""
+        return self.score / max(self.document_events, 1.0)
+
+    def as_dict(self) -> "dict[str, float]":
+        return {
+            "events_routed": self.events_routed,
+            "items_buffered": self.items_buffered,
+            "per_event_cost": self.per_event_cost,
+            "document_events": self.document_events,
+            "score": self.score,
+            "cost_per_event": self.cost_per_event,
+            "observed_passes": float(self.observed_passes),
+        }
+
+
+def _axis_items(dtd: Optional[object], axis: BufferedAxis) -> float:
+    """Estimated buffered items one handler firing parks for ``axis``."""
+    if axis.label == WHOLE_SUBTREE:
+        return estimate_subtree_nodes(dtd, axis.element_type)
+    if axis.max_count >= INFINITY:
+        count = estimate_count(dtd, axis.element_type, axis.label)
+    else:
+        count = axis.max_count
+    return count * estimate_subtree_nodes(dtd, axis.label)
+
+
+def _projection_events(
+    dtd: Optional[object], node: ProjectionNode, element_type: str, cardinality: float
+) -> float:
+    total = 0.0
+    for label, child in sorted(node.children.items()):
+        count = cardinality * estimate_count(dtd, element_type, label)
+        if child.keep_subtree:
+            total += count * EVENTS_PER_NODE * estimate_subtree_nodes(dtd, label)
+        else:
+            total += count * 2.0  # start + end tag of the matched element
+            total += _projection_events(dtd, child, label, count)
+    return total
+
+
+def estimate_cost(
+    entry: "CompiledQueryPlan", analysis: Optional[PlanBufferAnalysis] = None
+) -> CostEstimate:
+    """Predict the per-document cost of ``entry``.
+
+    ``analysis`` may be passed when the caller already classified the
+    plan (``repro explain`` does, to print both from one walk).
+    """
+    dtd = entry.plan.dtd
+    if analysis is None:
+        analysis = classify_plan(entry.plan)
+    document_events = estimate_document_events(dtd)
+
+    projection = projection_paths(entry.optimized.parsed)
+    if projection.keep_subtree:
+        events_routed = document_events
+    else:
+        events_routed = 2.0 + _projection_events(dtd, projection, "#document", 1.0)
+    events_routed = min(events_routed, document_events)
+
+    items_buffered = 0.0
+    condition_arity = 0
+    for handler in analysis.handlers:
+        condition_arity += len(handler.past_labels)
+        per_firing = sum(_axis_items(dtd, axis) for axis in handler.axes)
+        items_buffered += handler.cardinality * per_firing
+
+    report = entry.optimized.scheduling_report
+    handler_count = (
+        report.streaming_handlers + report.buffered_handlers + report.copy_handlers
+    )
+    per_event_cost = 1.0 + 0.15 * handler_count + 0.05 * condition_arity
+
+    score = events_routed * per_event_cost + BUFFER_ITEM_WEIGHT * items_buffered
+    return CostEstimate(
+        events_routed=events_routed,
+        items_buffered=items_buffered,
+        per_event_cost=per_event_cost,
+        document_events=document_events,
+        score=score,
+    )
+
+
+def static_cost(entry: "CompiledQueryPlan") -> float:
+    """Memoized cost score of ``entry`` (the admission-pricing hook).
+
+    Cached on the entry like ``structure_key``: plans are immutable once
+    compiled and shared across registrations, so the analysis runs once.
+    """
+    cached = entry.__dict__.get("_static_cost")
+    if cached is not None:
+        return float(cached)
+    score = estimate_cost(entry).score
+    entry.__dict__["_static_cost"] = score
+    return score
+
+
+def apply_observations(
+    estimate: CostEstimate, observations: "Optional[PlanObservations]"
+) -> CostEstimate:
+    """Recalibrate ``estimate`` with observed per-pass metrics.
+
+    Replaces the modeled events-routed figure with the observed mean and
+    rescales the score accordingly; the static buffered-items term is
+    kept (observations do not break it out per structure).  Returns the
+    estimate unchanged when there are no observations.
+    """
+    if observations is None or observations.passes <= 0:
+        return estimate
+    observed_events = observations.events_routed / observations.passes
+    score = (
+        observed_events * estimate.per_event_cost
+        + BUFFER_ITEM_WEIGHT * estimate.items_buffered
+    )
+    return replace(
+        estimate,
+        events_routed=observed_events,
+        score=score,
+        observed_passes=observations.passes,
+    )

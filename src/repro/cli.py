@@ -151,18 +151,55 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
-    query = _read(args.query)
-    dtd = _load_dtd(args.dtd, None)
-    pipeline = OptimizerPipeline(dtd)
-    compiled = pipeline.compile(query)
-    print(compiled.describe())
-    from repro.runtime.compiler import compile_flux
+    """Compile a query and print optimizer stages + the static analysis.
 
-    plan = compile_flux(compiled.flux, compiled.dtd)
+    Sections, in order: the optimizer's own ``describe()`` stages, the
+    buffer description forest, safety, the scheduler's buffering
+    decisions, the analyzer's plan DAG / buffer bounds / predicted cost /
+    chosen execution mode, and (last, so golden tests can truncate the
+    only nondeterministic part) the optimizer timings.
+    """
+    from repro.analysis.query import explain_compiled
+    from repro.errors import ReproError
+    from repro.runtime.compiler import compile_query
+
+    try:
+        query = _read(args.query)
+        dtd = _load_dtd(args.dtd, None)
+        entry = compile_query(query, pipeline=OptimizerPipeline(dtd))
+    except (OSError, ReproError) as exc:
+        print(f"explain: {exc}", file=sys.stderr)
+        return 2
+    compiled = entry.optimized
+    print(compiled.describe())
     print("== Buffer description forest ==")
-    print(plan.bdf.describe())
+    print(entry.plan.bdf.describe())
     print("== Safety ==")
     print("safe" if compiled.is_safe else "\n".join(str(v) for v in compiled.safety_violations))
+    reasons = compiled.scheduling_report.buffer_reasons
+    if reasons:
+        print("== Buffering decisions ==")
+        for reason in reasons:
+            print(f"    - {reason}")
+    observations = None
+    if args.plan_cache_file:
+        cache = PlanCache()
+        if os.path.exists(args.plan_cache_file):
+            try:
+                cache.load(args.plan_cache_file)
+            except ValueError as exc:
+                print(f"explain: {exc}", file=sys.stderr)
+                return 2
+            observations = cache.observations_for(entry)
+    print(
+        explain_compiled(
+            entry,
+            document_bytes=args.document_bytes,
+            document_count=args.document_count,
+            cpu_count=args.cpus,
+            observations=observations,
+        )
+    )
     print("== Optimizer timings ==")
     for stage in ("parse", "normalize", "optimize", "schedule", "safety"):
         if stage in compiled.stage_seconds:
@@ -196,11 +233,15 @@ def _command_lint(args: argparse.Namespace) -> int:
         all_codes,
         default_lint_root,
         render_json,
+        render_sarif,
         render_text,
         run_lint,
         write_baseline,
     )
 
+    if args.check_baseline and not args.baseline:
+        print("lint: --check-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
     paths = args.paths or [default_lint_root()]
     for path in paths:
         if not os.path.exists(path):
@@ -225,8 +266,20 @@ def _command_lint(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 0
-    print(render_json(result) if args.format == "json" else render_text(result))
-    if result.errors or result.failing(fail_on):
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
+    else:
+        print(render_text(result))
+    stale = result.stale if args.check_baseline else []
+    for fingerprint in stale:
+        print(
+            "lint: stale baseline suppression (no longer fires): "
+            + "|".join(fingerprint),
+            file=sys.stderr,
+        )
+    if result.errors or result.failing(fail_on) or stale:
         return 1
     return 0
 
@@ -414,6 +467,10 @@ def _command_multi(args: argparse.Namespace) -> int:
     if args.workers is not None and args.workers < 1:
         print("multi: --workers must be at least 1", file=sys.stderr)
         return 2
+    # "auto" anywhere defers the unset knobs to the static analyzer's
+    # mode policy, resolved below once queries, schema, and document
+    # sizes are in hand.
+    auto_requested = "auto" in (args.execution, args.backend)
     if args.backend == "processes" and args.workers is None:
         print("multi: --backend processes requires --workers N", file=sys.stderr)
         return 2
@@ -422,7 +479,10 @@ def _command_multi(args: argparse.Namespace) -> int:
     # process-pool workers — there per-query threads buy no overlap, only
     # handoff cost on top of the process parallelism.
     if args.execution is None:
-        args.execution = "inline" if args.backend == "processes" else "threads"
+        if args.backend == "auto":
+            args.execution = "auto"
+        else:
+            args.execution = "inline" if args.backend == "processes" else "threads"
     if args.backend == "processes" and args.execution == "async":
         print(
             "multi: --backend processes drives workers with the inline or "
@@ -438,10 +498,6 @@ def _command_multi(args: argparse.Namespace) -> int:
     paths = args.documents if args.documents else [args.input]
     labels = _document_labels(paths)
     per_document = len(paths) > 1
-    # Any explicit --workers (1 included) selects the fault-isolated pool;
-    # the default is the plain all-or-nothing serve loop.
-    pooled = args.workers is not None
-    workers = args.workers if pooled else 1
 
     # --plan-cache-file: warm-start compilation from a previous run's
     # snapshot; an updated snapshot is saved after serving.
@@ -471,6 +527,67 @@ def _command_multi(args: argparse.Namespace) -> int:
     else:
         with open(paths[0], "r", encoding="utf-8") as prolog:
             dtd = _load_dtd(None, prolog)
+
+    # --execution auto / --backend auto: compile the fleet up front (through
+    # the plan cache, so the work is reused by the serving pass and the
+    # estimates pick up any persisted pass observations) and let the static
+    # cost model fill in whichever knobs were left to it.  Explicit values —
+    # including an explicit --workers — always win over the policy.
+    if auto_requested:
+        from repro.analysis.query import (
+            apply_observations,
+            estimate_cost,
+            select_mode,
+        )
+        from repro.errors import ReproError
+
+        if plan_cache is None:
+            plan_cache = PlanCache()
+        pipeline = OptimizerPipeline(dtd)
+        costs = []
+        for _key, text in queries:
+            try:
+                entry, _ = plan_cache.get_or_compile(text, pipeline)
+            except ReproError as exc:
+                print(f"multi: {exc}", file=sys.stderr)
+                return 2
+            costs.append(
+                apply_observations(
+                    estimate_cost(entry), plan_cache.observations_for(entry)
+                )
+            )
+        sizes = []
+        for path in paths:
+            if path == "-":
+                sizes.append(len((stdin_text or "").encode("utf-8")))
+            else:
+                try:
+                    sizes.append(os.path.getsize(path))
+                except OSError:
+                    pass  # missing file surfaces as a serve error later
+        decision = select_mode(
+            costs,
+            document_bytes=max(sizes) if sizes else None,
+            document_count=len(paths),
+        )
+        if args.execution == "auto":
+            args.execution = decision.execution
+        if args.backend == "auto":
+            # async is the front end of the in-process backend; an auto
+            # backend under it can only mean that backend's thread pool.
+            args.backend = (
+                "threads" if args.execution == "async" else decision.backend
+            )
+        if args.workers is None and decision.workers is not None:
+            args.workers = decision.workers
+        print(f"[auto] {decision.describe()}", file=sys.stderr)
+        for reason in decision.reasons:
+            print(f"[auto]   - {reason}", file=sys.stderr)
+
+    # Any explicit --workers (1 included) selects the fault-isolated pool;
+    # the default is the plain all-or-nothing serve loop.
+    pooled = args.workers is not None
+    workers = args.workers if pooled else 1
 
     def documents():
         """One streamed document per served path (handles closed after —
@@ -651,9 +768,43 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--no-validate", action="store_true", help="skip DTD validation")
     run_parser.set_defaults(handler=_command_run)
 
-    explain_parser = subparsers.add_parser("explain", help="show the optimizer stages for a query")
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="show the optimizer stages, buffer-bound classes, predicted "
+        "cost, and chosen execution mode for a query",
+    )
     explain_parser.add_argument("--query", "-q", required=True)
     explain_parser.add_argument("--dtd", "-d", help="DTD file")
+    explain_parser.add_argument(
+        "--document-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="typical document size in bytes for mode selection "
+        "(default: assume 1 MiB)",
+    )
+    explain_parser.add_argument(
+        "--document-count",
+        type=int,
+        default=1,
+        metavar="N",
+        help="how many documents the workload will serve (default: 1)",
+    )
+    explain_parser.add_argument(
+        "--cpus",
+        type=int,
+        default=None,
+        metavar="N",
+        help="assume N usable cores for mode selection (default: detect)",
+    )
+    explain_parser.add_argument(
+        "--plan-cache-file",
+        "-p",
+        metavar="PATH",
+        help="read observed pass metrics from a plan-cache snapshot "
+        "(written by multi --plan-cache-file) to calibrate the predicted "
+        "cost with measured events",
+    )
     explain_parser.set_defaults(handler=_command_explain)
 
     compare_parser = subparsers.add_parser("compare", help="compare engines on one query/document")
@@ -693,13 +844,15 @@ def build_parser() -> argparse.ArgumentParser:
     multi_parser.add_argument(
         "--execution",
         "-x",
-        choices=["threads", "inline", "async"],
+        choices=["threads", "inline", "async", "auto"],
         default=None,
         help="per-query runtime driver: worker threads (the default, "
         "except inside --backend processes workers, where inline is the "
         "default — per-query threads there only add handoff cost), the "
-        "inline round-robin scheduler on the dispatch thread, or the "
-        "asyncio front end over the inline scheduler",
+        "inline round-robin scheduler on the dispatch thread, the "
+        "asyncio front end over the inline scheduler, or auto — let the "
+        "static cost model pick from the fleet's predicted per-event "
+        "cost, the document sizes, and the machine's CPU count",
     )
     multi_parser.add_argument(
         "--workers",
@@ -718,14 +871,16 @@ def build_parser() -> argparse.ArgumentParser:
     multi_parser.add_argument(
         "--backend",
         "-b",
-        choices=["threads", "processes"],
+        choices=["threads", "processes", "auto"],
         default="threads",
         help="where the pool workers run: threads in this process "
         "(default; overlapping ingestion, evaluation interleaved under "
-        "the GIL) or separate worker processes (each query compiled once "
+        "the GIL), separate worker processes (each query compiled once "
         "in the parent and shipped as a pickled plan; evaluation runs in "
         "parallel on separate cores, and a crashed worker is respawned "
-        "with its document reported as an error); requires --workers",
+        "with its document reported as an error; requires --workers), or "
+        "auto — let the static cost model pick backend and worker count "
+        "(an explicit --workers still wins)",
     )
     multi_parser.add_argument(
         "--plan-cache-file",
@@ -794,9 +949,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif emits a SARIF 2.1.0 "
+        "run for code-scanning upload)",
     )
     lint_parser.add_argument(
         "--baseline",
@@ -808,6 +964,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         metavar="FILE",
         help="write the current findings to FILE as a new baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail (exit 1) when the --baseline file contains stale "
+        "fingerprints that no current finding matches — fixed violations "
+        "must leave the baseline, or the dead suppression would silently "
+        "swallow a future regression with the same fingerprint",
     )
     lint_parser.add_argument(
         "--fail-on",

@@ -39,7 +39,7 @@ this is what produces the nested shape of the paper's example queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence as Seq, Set, Tuple
 
 from repro.dtd.schema import DTD
@@ -82,11 +82,17 @@ from repro.xquery.ast import (
 
 @dataclass
 class SchedulingReport:
-    """Statistics about the scheduling decisions (used by benches/tests)."""
+    """Statistics about the scheduling decisions (used by benches/tests).
+
+    ``buffer_reasons`` records, per buffered handler in scheduling order,
+    *why* the scheduler could not stream that item — the decision trail
+    ``repro explain`` prints next to the analyzer's buffer classes.
+    """
 
     streaming_handlers: int = 0
     buffered_handlers: int = 0
     copy_handlers: int = 0
+    buffer_reasons: List[str] = field(default_factory=list)
 
     def summary(self) -> str:
         return (
@@ -228,6 +234,12 @@ class _Scheduler:
             condition = self._condition_labels(prior_labels | set(deps), stream_type)
             self._append_on_first(handlers, condition, FBufferedExpr(item))
             self.report.buffered_handlers += 1
+            self.report.buffer_reasons.append(
+                self._buffer_reason(
+                    item, stream_var, stream_type, prior_labels, enclosing_vars,
+                    streaming_labels,
+                )
+            )
             prior_labels.update(deps)
         merged = self._merge_handlers(handlers)
         return FProcessStream(stream_var, stream_type or DOCUMENT_TYPE, tuple(merged))
@@ -309,6 +321,62 @@ class _Scheduler:
             if not self._order_holds(stream_type, previous, label):
                 return False
         return True
+
+    def _buffer_reason(
+        self,
+        item: XQueryExpr,
+        stream_var: str,
+        stream_type: Optional[str],
+        prior_labels: Set[str],
+        enclosing_vars: Tuple[str, ...],
+        streaming_labels: Set[str],
+    ) -> str:
+        """Why :meth:`_is_streamable` rejected ``item`` (first failing check).
+
+        Mirrors the checks in order, so the recorded reason is the one
+        that actually forced buffering.  Only called for items already
+        decided buffered — the fall-through return covers drift between
+        the two methods without ever mislabeling a streamed item.
+        """
+        if not isinstance(item, ForExpr):
+            return "not a child-axis loop: evaluated from buffers"
+        if item.where is not None:
+            return "loop carries a where clause: evaluated from buffers"
+        source = item.source
+        if not isinstance(source, PathExpr) or source.var != stream_var:
+            return (
+                f"loop source is not a path on the stream variable "
+                f"{stream_var}: evaluated from buffers"
+            )
+        if len(source.steps) != 1 or not isinstance(source.steps[0], ChildStep):
+            return "loop path is not a single child step: evaluated from buffers"
+        label = source.steps[0].name
+        if label == "*":
+            return "wildcard child step: evaluated from buffers"
+        if label in streaming_labels:
+            return (
+                f"a streaming handler for <{label}> already exists: "
+                "second loop over the same label is evaluated from buffers"
+            )
+        for outer in enclosing_vars + (stream_var,):
+            if child_label_dependencies(item.body, outer):
+                return (
+                    f"loop body reads content of enclosing stream variable "
+                    f"{outer}: evaluated from buffers"
+                )
+        for previous in prior_labels:
+            if previous == WHOLE_SUBTREE:
+                return (
+                    "earlier output needs the whole subtree: "
+                    "document order gives no ordering guarantee"
+                )
+            if not self._order_holds(stream_type, previous, label):
+                return (
+                    f"DTD gives no guarantee that <{previous}> precedes "
+                    f"<{label}> under {stream_type or 'the document'}: "
+                    "out-of-order arrival must buffer"
+                )
+        return "scheduler chose buffering"
 
     # ------------------------------------------------------------ immediate
 

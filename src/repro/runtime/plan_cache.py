@@ -222,6 +222,72 @@ class CacheStats:
         }
 
 
+@dataclass
+class PlanObservations:
+    """Observed pass metrics for one plan structure (cost calibration).
+
+    The static cost model (:mod:`repro.analysis.query.cost`) predicts
+    events routed and items buffered from the DTD alone; real passes know
+    better.  The service folds each finished pass into one of these per
+    plan *structure* (α-renamed identity — aliases share calibration),
+    and snapshots persist them beside the artifacts so a warm-started
+    service explains and mode-selects with measured numbers.
+
+    Totals are cumulative over ``passes``; ``peak_buffer_bytes`` is the
+    maximum single-pass peak, the figure the buffer-bound soundness
+    property pins down.
+    """
+
+    passes: int = 0
+    events_routed: float = 0.0
+    document_bytes: float = 0.0
+    elapsed_seconds: float = 0.0
+    peak_buffer_bytes: int = 0
+
+    def record(
+        self,
+        events_routed: float,
+        document_bytes: float,
+        elapsed_seconds: float,
+        peak_buffer_bytes: int = 0,
+    ) -> None:
+        """Fold one observed pass into the running totals."""
+        self.passes += 1
+        self.events_routed += events_routed
+        self.document_bytes += document_bytes
+        self.elapsed_seconds += elapsed_seconds
+        if peak_buffer_bytes > self.peak_buffer_bytes:
+            self.peak_buffer_bytes = peak_buffer_bytes
+
+    def merge(self, other: "PlanObservations") -> None:
+        """Fold another record in (snapshot load over live observations)."""
+        self.passes += other.passes
+        self.events_routed += other.events_routed
+        self.document_bytes += other.document_bytes
+        self.elapsed_seconds += other.elapsed_seconds
+        if other.peak_buffer_bytes > self.peak_buffer_bytes:
+            self.peak_buffer_bytes = other.peak_buffer_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "passes": float(self.passes),
+            "events_routed": self.events_routed,
+            "document_bytes": self.document_bytes,
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_buffer_bytes": float(self.peak_buffer_bytes),
+        }
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "PlanObservations":
+        return cls(
+            passes=int(values.get("passes", 0)),
+            events_routed=float(values.get("events_routed", 0.0)),
+            document_bytes=float(values.get("document_bytes", 0.0)),
+            elapsed_seconds=float(values.get("elapsed_seconds", 0.0)),
+            peak_buffer_bytes=int(values.get("peak_buffer_bytes", 0)),
+        )
+
+
 @dataclass(frozen=True)
 class PlanArtifact:
     """One compiled plan, serialized for shipping or persistence.
@@ -340,6 +406,10 @@ class PlanCache:
         self._structure_entries: Dict[str, CompiledQueryPlan] = {}
         self._structure_refs: Dict[str, int] = {}
         self._entry_structures: Dict[Tuple[str, str, str], str] = {}
+        # Observed pass metrics by structure key, LRU-bounded separately
+        # from the entries (calibration outlives eviction: a re-compiled
+        # plan keeps its history).  Guarded by the cache lock.
+        self._observations: "OrderedDict[str, PlanObservations]" = OrderedDict()
 
     def __len__(self) -> int:
         with self._lock:
@@ -434,6 +504,49 @@ class PlanCache:
         """How many distinct plan structures the cached entries span."""
         with self._lock:
             return len(self._structure_entries)
+
+    # ------------------------------------------------- observed pass metrics
+
+    #: Bound on tracked structures' observation records (oldest-updated
+    #: records drop first once a cache outlives this many structures).
+    OBSERVATION_LIMIT = 1024
+
+    def observe(
+        self,
+        entry: CompiledQueryPlan,
+        *,
+        events_routed: float = 0.0,
+        document_bytes: float = 0.0,
+        elapsed_seconds: float = 0.0,
+        peak_buffer_bytes: int = 0,
+    ) -> None:
+        """Fold one observed pass of ``entry``'s structure into the sidecar.
+
+        Keyed by :func:`structure_key`, so every alias registration of the
+        same computation feeds (and benefits from) one record.
+        """
+        skey = structure_key(entry)
+        with self._lock:
+            record = self._observations.get(skey)
+            if record is None:
+                record = self._observations[skey] = PlanObservations()
+            record.record(
+                events_routed, document_bytes, elapsed_seconds, peak_buffer_bytes
+            )
+            self._observations.move_to_end(skey)
+            while len(self._observations) > self.OBSERVATION_LIMIT:
+                self._observations.popitem(last=False)
+
+    def observations_for(
+        self, entry: CompiledQueryPlan
+    ) -> Optional[PlanObservations]:
+        """A copy of the observed metrics for ``entry``'s structure, if any."""
+        skey = structure_key(entry)
+        with self._lock:
+            record = self._observations.get(skey)
+            if record is None:
+                return None
+            return dataclasses.replace(record)
 
     def get_or_compile(
         self,
@@ -565,6 +678,10 @@ class PlanCache:
         """
         with self._lock:
             items = list(self._entries.items())
+            observations = {
+                skey: record.as_dict()
+                for skey, record in self._observations.items()
+            }
         artifacts: List[PlanArtifact] = []
         indexes: Dict[int, int] = {}
         records: List[Tuple[Tuple[str, str, str], int]] = []
@@ -581,6 +698,10 @@ class PlanCache:
                 "version": self.SNAPSHOT_VERSION,
                 "artifacts": artifacts,
                 "entries": records,
+                # Optional sidecar (still version 2: readers ignore unknown
+                # keys): observed pass metrics by structure key, so a
+                # warm-started cache keeps its cost calibration.
+                "observations": observations,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -663,6 +784,20 @@ class PlanCache:
             with self._lock:
                 self._insert_locked((key[0], key[1], key[2]), entry, skey)
             loaded += 1
+        observations = snapshot.get("observations")
+        if isinstance(observations, dict):
+            with self._lock:
+                for skey, values in observations.items():
+                    if not isinstance(skey, str) or not isinstance(values, dict):
+                        continue
+                    record = self._observations.get(skey)
+                    if record is None:
+                        self._observations[skey] = PlanObservations.from_dict(values)
+                        self._observations.move_to_end(skey)
+                    else:
+                        record.merge(PlanObservations.from_dict(values))
+                while len(self._observations) > self.OBSERVATION_LIMIT:
+                    self._observations.popitem(last=False)
         with self._lock:
             self.stats.preloaded += loaded
         return loaded

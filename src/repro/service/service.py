@@ -420,16 +420,55 @@ class QueryService:
         try:
             with self._maybe_profile():
                 self._feed_document(shared_pass, document)
-                return shared_pass.finish()
+                results = shared_pass.finish()
         except BaseException:
             shared_pass.abort()
             raise
+        self._record_observations(shared_pass, results)
+        return results
 
     def _maybe_profile(self):
         """The pass profiler as a context manager, or a no-op without one."""
         if self.obs is not None and self.obs.profiler is not None:
             return self.obs.profiler
         return _NULL_CONTEXT
+
+    def _record_observations(
+        self, shared_pass: SharedPass, results: Dict[str, QueryResult]
+    ) -> None:
+        """Fold one finished pass into the plan cache's observation sidecar.
+
+        One record per plan *structure* (aliases share calibration): the
+        representative registration's routed-event count, the pass's
+        document size and elapsed time, and the alias group's worst
+        measured buffer peak.  These are what
+        :func:`repro.analysis.query.cost.apply_observations` uses to
+        replace modeled figures with measured ones in ``repro explain``
+        and auto mode selection; persisted by ``PlanCache.dump``.
+        """
+        metrics = shared_pass.metrics
+        seen: set = set()
+        for registration in shared_pass.registrations:
+            skey = registration.structure.skey
+            if skey in seen:
+                continue
+            seen.add(skey)
+            result = results.get(registration.key)
+            if result is None:
+                continue
+            self.plan_cache.observe(
+                registration.entry,
+                events_routed=float(
+                    metrics.per_query_forwarded.get(registration.key, 0)
+                ),
+                document_bytes=float(metrics.document_bytes),
+                elapsed_seconds=metrics.elapsed_seconds,
+                peak_buffer_bytes=max(
+                    results[reg.key].peak_buffer_bytes
+                    for reg in shared_pass.registrations
+                    if reg.structure.skey == skey and reg.key in results
+                ),
+            )
 
     def serve(
         self,
@@ -486,6 +525,7 @@ class QueryService:
             except BaseException:
                 shared_pass.abort()
                 raise
+            self._record_observations(shared_pass, results)
             yield ServedDocument(
                 index=index, results=results, metrics=shared_pass.metrics
             )

@@ -145,6 +145,20 @@ class RegisteredQuery:
     def profile(self) -> PlanProfile:
         return self.structure.profile
 
+    @property
+    def static_cost(self) -> float:
+        """Predicted per-document cost score of this query's plan.
+
+        Computed (and memoized) by the static analyzer
+        (:func:`repro.analysis.query.cost.static_cost`) — the pricing
+        figure admission control reads to charge a registration before it
+        has ever run.  Lazy, so registration itself stays analysis-free;
+        shared across aliases via the memo on the compiled entry.
+        """
+        from repro.analysis.query.cost import static_cost
+
+        return static_cost(self.entry)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RegisteredQuery({self.key!r}, cached={self.from_cache})"
 
@@ -305,6 +319,17 @@ class SharedPass:
     @property
     def metrics(self) -> PassMetrics:
         return self._metrics
+
+    @property
+    def registrations(self) -> List[RegisteredQuery]:
+        """The registration snapshot this pass executes (copy).
+
+        Registered/replaced/unregistered queries on the service do not
+        affect an open pass; callers folding pass results back into
+        per-plan records (observation recording, admission pricing) need
+        the snapshot, not the service's live table.
+        """
+        return list(self._registrations)
 
     @property
     def aborted(self) -> bool:

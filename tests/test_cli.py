@@ -632,3 +632,189 @@ class TestParser:
     def test_unknown_option_errors(self, files):
         with pytest.raises(SystemExit):
             main(["run", "--nope", files["query"]])
+
+
+class TestExplainAnalyzer:
+    """The static-analyzer sections of the rewritten explain report."""
+
+    def test_explain_prints_analyzer_sections(self, files, capsys):
+        exit_code = main(["explain", "-q", files["query"], "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for section in ("== Plan DAG ==", "== Buffer bounds ==", "== Static cost ==",
+                        "== Execution mode =="):
+            assert section in captured.out
+        assert "predicted score" in captured.out
+        assert "chosen: execution=" in captured.out
+        # Timings close the report so the analysis reads first.
+        assert captured.out.rstrip().rindex("== Optimizer timings ==") > captured.out.index(
+            "== Execution mode =="
+        )
+
+    def test_explain_prints_buffer_class_for_buffered_handlers(self, files, capsys):
+        from tests.conftest import PAPER_WEAK_DTD
+
+        weak = files["dir"] / "weak.dtd"
+        weak.write_text(PAPER_WEAK_DTD)
+        exit_code = main(["explain", "-q", files["query"], "-d", str(weak)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "FANOUT" in captured.out
+        assert "on-first past(" in captured.out
+        assert "== Buffering decisions ==" in captured.out
+
+    def test_explain_missing_query_file_is_exit_2(self, files, capsys):
+        exit_code = main(["explain", "-q", str(files["dir"] / "missing.xq"),
+                          "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("explain: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert captured.out == ""
+
+    def test_explain_parse_failure_is_exit_2(self, files, capsys):
+        bad = files["dir"] / "bad.xq"
+        bad.write_text("for $x in ((( return")
+        exit_code = main(["explain", "-q", str(bad), "-d", files["dtd"]])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("explain: ")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_explain_reads_observations_from_plan_cache_file(self, files, query_dir, capsys):
+        cache_file = files["dir"] / "plans.bin"
+        assert main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                     "-d", files["dtd"], "-p", str(cache_file)]) == 0
+        capsys.readouterr()
+        exit_code = main(["explain", "-q", files["query"], "-d", files["dtd"],
+                          "-p", str(cache_file)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "calibrated from 1 observed pass(es)" in captured.out
+
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+
+class TestMultiAutoMode:
+    @pytest.fixture
+    def query_dir(self, files):
+        queries = files["dir"] / "queries"
+        queries.mkdir()
+        (queries / "q3.xq").write_text(PAPER_Q3)
+        return queries
+
+    def test_execution_auto_resolves_and_reports(self, files, query_dir, capsys):
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "--execution", "auto",
+                          "--backend", "auto"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[auto] execution=" in captured.err
+        assert "[auto]   - " in captured.err
+        assert "<!-- q3 -->" in captured.out
+
+    def test_auto_single_document_stays_unpooled(self, files, query_dir, capsys):
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "-x", "auto", "-b", "auto"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "workers=none" in captured.err
+        assert "[shared pass]" in captured.err
+
+    def test_explicit_workers_survive_auto(self, files, query_dir, capsys):
+        exit_code = main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                          "-d", files["dtd"], "-x", "auto", "-w", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "[auto]" in captured.err
+
+    def test_auto_output_matches_manual(self, files, query_dir, capsys):
+        assert main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                     "-d", files["dtd"], "-x", "auto", "-b", "auto"]) == 0
+        auto_out = capsys.readouterr().out
+        assert main(["multi", "-Q", str(query_dir), "-i", files["document"],
+                     "-d", files["dtd"]]) == 0
+        assert capsys.readouterr().out == auto_out
+
+
+class TestLintSarifAndBaseline:
+    def test_sarif_format_is_valid_sarif(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        exit_code = main(["lint", "--format", "sarif", str(target)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        import json
+
+        payload = json.loads(captured.out)
+        assert payload["version"] == "2.1.0"
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"]
+
+    def test_sarif_reports_findings_with_fingerprints(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "# hot-loop\ndef f(xs):\n    return [x for x in xs]\n"
+        )
+        exit_code = main(["lint", "--format", "sarif", str(target)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        (run,) = json.loads(captured.out)["runs"]
+        assert run["results"]
+        for finding in run["results"]:
+            assert finding["ruleId"]
+            assert finding["partialFingerprints"]["reproLint/v1"]
+
+    def test_check_baseline_fails_on_stale_suppressions(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "findings": [{"code": "LD001", "path": "gone.py", "message": "ghost"}],
+        }))
+        exit_code = main(["lint", "--baseline", str(baseline), "--check-baseline",
+                          str(target)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "stale baseline suppression" in captured.err
+
+    def test_stale_suppressions_pass_without_check(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "findings": [{"code": "LD001", "path": "gone.py", "message": "ghost"}],
+        }))
+        assert main(["lint", "--baseline", str(baseline), str(target)]) == 0
+
+    def test_check_baseline_requires_baseline(self, tmp_path, capsys):
+        exit_code = main(["lint", "--check-baseline", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--check-baseline requires --baseline" in captured.err
+
+    def test_check_baseline_passes_when_all_fire(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "# hot-loop\ndef f(xs):\n    return [x for x in xs]\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", str(baseline), str(target)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--baseline", str(baseline), "--check-baseline",
+                     str(target)]) == 0

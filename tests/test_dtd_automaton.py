@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.dtd.automaton import build_automaton
-from repro.dtd.parser import parse_element_decl
+from repro.dtd.automaton import (
+    axis_max_count,
+    build_automaton,
+    recursive_elements,
+    subtree_growth_degree,
+)
+from repro.dtd.model import INFINITY
+from repro.dtd.parser import parse_dtd, parse_element_decl
 
 
 def automaton_for(model):
@@ -103,3 +109,89 @@ class TestReachableLabels:
         for label in ["author", "title", "author"]:
             state = automaton.step(state, label)
             assert automaton.reachable_labels(state) == {"title", "author"}
+
+
+class TestOccurrenceBounds:
+    @pytest.mark.parametrize(
+        "model,label,bounds",
+        [
+            ("(title,(author+|editor+),publisher,price)", "title", (1.0, 1.0)),
+            ("(title,(author+|editor+),publisher,price)", "author", (0.0, INFINITY)),
+            ("(title,(author+|editor+),publisher,price)", "publisher", (1.0, 1.0)),
+            ("(a,(b|c)*,d)", "a", (1.0, 1.0)),
+            ("(a,(b|c)*,d)", "b", (0.0, INFINITY)),
+            ("(a,(b|c)*,d)", "d", (1.0, 1.0)),
+            ("(a?)", "a", (0.0, 1.0)),
+            ("((a,b)+)", "a", (1.0, INFINITY)),
+        ],
+    )
+    def test_bounds_match_model(self, model, label, bounds):
+        assert automaton_for(model).occurrence_bounds()[label] == bounds
+
+    def test_any_model_has_no_enumerable_bounds(self):
+        assert automaton_for("ANY").occurrence_bounds() == {}
+
+    def test_mixed_content_children_are_unbounded(self):
+        # (#PCDATA | em | code)* — mixed content repeats every child label.
+        bounds = automaton_for("(#PCDATA|em|code)*").occurrence_bounds()
+        assert bounds["em"] == (0.0, INFINITY)
+        assert bounds["code"] == (0.0, INFINITY)
+
+
+RECURSIVE_DTD = """
+<!ELEMENT doc (part+)>
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+MIXED_DTD = """
+<!ELEMENT doc (para+)>
+<!ELEMENT para (#PCDATA | em | code)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT code (#PCDATA)>
+"""
+
+
+class TestDtdLevelAnalyses:
+    def test_recursive_elements_found(self):
+        dtd = parse_dtd(RECURSIVE_DTD)
+        assert recursive_elements(dtd) == frozenset({"part"})
+
+    def test_any_content_is_conservatively_recursive(self):
+        dtd = parse_dtd("<!ELEMENT doc (a*)>\n<!ELEMENT a ANY>")
+        assert "a" in recursive_elements(dtd)
+
+    def test_non_recursive_dtd_is_empty(self):
+        dtd = parse_dtd(MIXED_DTD)
+        assert recursive_elements(dtd) == frozenset()
+
+    def test_axis_max_count(self):
+        dtd = parse_dtd(RECURSIVE_DTD)
+        assert axis_max_count(dtd, "part", "name") == 1.0
+        assert axis_max_count(dtd, "doc", "part") == INFINITY
+        assert axis_max_count(dtd, "part", "price") == 0.0
+        assert axis_max_count(dtd, "#document", "doc") == 1.0
+        # Undeclared parents behave like ANY: no bound.
+        assert axis_max_count(dtd, "mystery", "name") == INFINITY
+
+    def test_subtree_growth_degree_recursive_is_unbounded(self):
+        dtd = parse_dtd(RECURSIVE_DTD)
+        assert subtree_growth_degree(dtd, "part") == INFINITY
+        assert subtree_growth_degree(dtd, "doc") == INFINITY
+        assert subtree_growth_degree(dtd, "name") == 0.0
+
+    def test_subtree_growth_degree_counts_nested_stars(self):
+        dtd = parse_dtd(
+            "<!ELEMENT bib (book*)>\n"
+            "<!ELEMENT book (title, author*)>\n"
+            "<!ELEMENT title (#PCDATA)>\n"
+            "<!ELEMENT author (#PCDATA)>"
+        )
+        assert subtree_growth_degree(dtd, "author") == 0.0
+        assert subtree_growth_degree(dtd, "book") == 1.0
+        assert subtree_growth_degree(dtd, "bib") == 2.0
+        assert subtree_growth_degree(dtd, "#document") == 2.0
+
+    def test_mixed_content_subtree_is_one_level_unbounded(self):
+        dtd = parse_dtd(MIXED_DTD)
+        assert subtree_growth_degree(dtd, "para") == 1.0

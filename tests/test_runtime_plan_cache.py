@@ -399,3 +399,97 @@ class TestStructuralInterning:
         assert cache.structure_count() == 0
         refetched, from_cache = cache.get_or_compile(PAPER_Q3, strong_pipeline)
         assert not from_cache and refetched is not None
+
+
+class TestPlanObservations:
+    def test_observe_and_read_back(self, strong_pipeline):
+        from repro.runtime.plan_cache import PlanObservations
+
+        cache = PlanCache()
+        entry, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert cache.observations_for(entry) is None
+        cache.observe(entry, events_routed=15.0, document_bytes=500.0,
+                      elapsed_seconds=0.01, peak_buffer_bytes=128)
+        record = cache.observations_for(entry)
+        assert isinstance(record, PlanObservations)
+        assert record.passes == 1
+        assert record.events_routed == 15.0
+        assert record.peak_buffer_bytes == 128
+
+    def test_observations_accumulate_and_keep_peak_max(self, strong_pipeline):
+        cache = PlanCache()
+        entry, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.observe(entry, events_routed=10.0, peak_buffer_bytes=64)
+        cache.observe(entry, events_routed=30.0, peak_buffer_bytes=32)
+        record = cache.observations_for(entry)
+        assert record.passes == 2
+        assert record.events_routed == 40.0
+        assert record.peak_buffer_bytes == 64
+
+    def test_observations_for_returns_a_copy(self, strong_pipeline):
+        cache = PlanCache()
+        entry, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.observe(entry, events_routed=5.0)
+        copy = cache.observations_for(entry)
+        copy.record(events_routed=1000.0, document_bytes=0.0, elapsed_seconds=0.0)
+        assert cache.observations_for(entry).passes == 1
+
+    def test_structurally_equal_plans_share_observations(self, strong_pipeline):
+        # α-equivalent queries map to one structure key, so observations
+        # recorded under one alias calibrate the other.
+        cache = PlanCache()
+        entry, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        alias, _ = cache.get_or_compile(alias_query(PAPER_Q3, 1), strong_pipeline)
+        cache.observe(entry, events_routed=7.0)
+        assert cache.observations_for(alias).events_routed == 7.0
+
+    def test_snapshot_roundtrip_carries_observations(self, strong_pipeline, tmp_path):
+        path = str(tmp_path / "plans.json")
+        cache = PlanCache()
+        entry, _ = cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.observe(entry, events_routed=15.0, document_bytes=500.0,
+                      elapsed_seconds=0.01, peak_buffer_bytes=128)
+        cache.dump(path)
+
+        warmed = PlanCache()
+        warmed.load(path)
+        reloaded, cached = warmed.get_or_compile(PAPER_Q3, strong_pipeline)
+        assert cached is True
+        record = warmed.observations_for(reloaded)
+        assert record is not None
+        assert record.passes == 1
+        assert record.events_routed == 15.0
+        assert record.peak_buffer_bytes == 128
+
+    def test_load_merges_observations_into_existing(self, strong_pipeline, tmp_path):
+        path = str(tmp_path / "plans.json")
+        first = PlanCache()
+        entry, _ = first.get_or_compile(PAPER_Q3, strong_pipeline)
+        first.observe(entry, events_routed=10.0)
+        first.dump(path)
+
+        second = PlanCache()
+        live, _ = second.get_or_compile(PAPER_Q3, strong_pipeline)
+        second.observe(live, events_routed=5.0)
+        second.load(path)
+        merged = second.observations_for(live)
+        assert merged.passes == 2
+        assert merged.events_routed == 15.0
+
+    def test_snapshot_without_observations_still_loads(self, strong_pipeline, tmp_path):
+        # Snapshots written before the sidecar existed have no
+        # "observations" key; loading them must keep working.
+        import pickle
+
+        path = str(tmp_path / "plans.bin")
+        cache = PlanCache()
+        cache.get_or_compile(PAPER_Q3, strong_pipeline)
+        cache.dump(path)
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload.pop("observations", None)
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        warmed = PlanCache()
+        assert warmed.load(path) == 1

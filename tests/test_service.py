@@ -242,3 +242,42 @@ class TestSharedPassErrors:
         shared_pass.finish()
         with pytest.raises(ValueError):
             shared_pass.feed("x")
+
+
+class TestStaticCostAndObservations:
+    """The analyzer hooks: priced registrations, observed passes."""
+
+    def test_registered_query_exposes_static_cost(self):
+        service = QueryService(BIB_DTD_STRONG)
+        registration = service.register(PAPER_Q3, key="q3")
+        assert registration.static_cost > 0
+        # Memoized on the shared entry, not recomputed per registration.
+        assert registration.static_cost == registration.entry.__dict__["_static_cost"]
+
+    def test_run_pass_records_observations(self, bib_document):
+        service = QueryService(BIB_DTD_STRONG)
+        registration = service.register(PAPER_Q3, key="q3")
+        results = service.run_pass(bib_document)
+        record = service.plan_cache.observations_for(registration.entry)
+        assert record is not None
+        assert record.passes == 1
+        assert record.events_routed > 0
+        assert record.document_bytes == float(len(bib_document))
+        assert record.peak_buffer_bytes == results["q3"].peak_buffer_bytes
+
+    def test_observations_accumulate_across_passes(self, bib_document):
+        service = QueryService(BIB_DTD_STRONG)
+        registration = service.register(PAPER_Q3, key="q3")
+        service.run_pass(bib_document)
+        service.run_pass(bib_document)
+        record = service.plan_cache.observations_for(registration.entry)
+        assert record.passes == 2
+
+    def test_duplicate_registrations_observe_once_per_pass(self, bib_document):
+        # Two keys, one deduplicated plan: the pass must not double-count.
+        service = QueryService(BIB_DTD_STRONG)
+        registration = service.register(PAPER_Q3, key="a")
+        service.register(PAPER_Q3, key="b")
+        service.run_pass(bib_document)
+        record = service.plan_cache.observations_for(registration.entry)
+        assert record.passes == 1
